@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark suite.
+
+Sizes default to a laptop-friendly scale; set ``REPRO_BENCH_SCALE=paper``
+to run the paper's exact 10k/20k/40k inserts and 8,000 lookups.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+if SCALE == "paper":
+    TABLE1_SIZES = [10_000, 20_000, 40_000]
+    LOOKUPS = 8_000
+else:
+    TABLE1_SIZES = [2_000, 4_000, 8_000]
+    LOOKUPS = 2_000
+
+PAGE_SIZE = 8192
+
+
+@pytest.fixture(scope="session")
+def table1_sizes():
+    return TABLE1_SIZES
+
+
+@pytest.fixture(scope="session")
+def lookup_count():
+    return LOOKUPS
+
+
+@pytest.fixture(scope="session")
+def built_trees(table1_sizes):
+    """Indexes built once per session for the lookup benchmarks."""
+    from repro.workload import ascending, build_tree
+    trees = {}
+    for kind in ("normal", "reorg", "shadow", "hybrid"):
+        for size in table1_sizes:
+            _, tree = build_tree(kind, ascending(size),
+                                 page_size=PAGE_SIZE)
+            trees[(kind, size)] = tree
+    return trees

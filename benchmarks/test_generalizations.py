@@ -1,0 +1,98 @@
+"""The Section 1 generalization claim as a benchmark: the shadow
+technique carried to extendible hashing and R-trees survives the same
+randomized crash campaign as the B-link trees, with zero committed-key
+loss."""
+
+import random
+
+import pytest
+
+from repro import (
+    CrashError,
+    ExtendibleHashIndex,
+    RandomSubsetCrash,
+    Rect,
+    RTreeIndex,
+    StorageEngine,
+    TID,
+)
+
+
+def test_hash_crash_campaign(benchmark):
+    def campaign():
+        crashes = recovered = 0
+        for seed in range(15):
+            engine = StorageEngine.create(page_size=512, seed=seed)
+            ix = ExtendibleHashIndex.create(engine, "h", codec="uint32")
+            engine.crash_policy = RandomSubsetCrash(p=0.25,
+                                                    seed=seed * 3 + 1)
+            committed, pending, crashed = set(), [], False
+            i = 0
+            while i < 350 and not crashed:
+                try:
+                    ix.insert(i, TID(1, i % 100))
+                    pending.append(i)
+                    i += 1
+                    if i % 25 == 0:
+                        engine.sync()
+                        committed.update(pending)
+                        pending = []
+                except CrashError:
+                    crashed = True
+            if not crashed:
+                continue
+            crashes += 1
+            engine2 = StorageEngine.reopen_after_crash(engine)
+            ix2 = ExtendibleHashIndex.open(engine2, "h")
+            if all(ix2.lookup(k) is not None for k in committed):
+                recovered += 1
+        return crashes, recovered
+
+    crashes, recovered = benchmark.pedantic(campaign, rounds=1,
+                                            iterations=1)
+    benchmark.extra_info["crashes"] = crashes
+    assert crashes >= 8
+    assert recovered == crashes
+
+
+def test_rtree_crash_campaign(benchmark):
+    def campaign():
+        crashes = recovered = 0
+        for seed in range(15):
+            rng = random.Random(seed)
+            engine = StorageEngine.create(page_size=512, seed=seed)
+            rt = RTreeIndex.create(engine, "r")
+            engine.crash_policy = RandomSubsetCrash(p=0.25,
+                                                    seed=seed * 5 + 2)
+            committed, pending, crashed = [], [], False
+            i = 0
+            while i < 350 and not crashed:
+                x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+                rect = Rect(x, y, x + rng.uniform(1, 20),
+                            y + rng.uniform(1, 20))
+                tid = TID(1 + (i >> 8), i & 0xFF)
+                try:
+                    rt.insert(rect, tid)
+                    pending.append((rect, tid))
+                    i += 1
+                    if i % 25 == 0:
+                        engine.sync()
+                        committed.extend(pending)
+                        pending = []
+                except CrashError:
+                    crashed = True
+            if not crashed:
+                continue
+            crashes += 1
+            engine2 = StorageEngine.reopen_after_crash(engine)
+            rt2 = RTreeIndex.open(engine2, "r")
+            if all((rect, tid) in rt2.search(rect)
+                   for rect, tid in committed):
+                recovered += 1
+        return crashes, recovered
+
+    crashes, recovered = benchmark.pedantic(campaign, rounds=1,
+                                            iterations=1)
+    benchmark.extra_info["crashes"] = crashes
+    assert crashes >= 8
+    assert recovered == crashes

@@ -1,0 +1,67 @@
+"""The hybrid tree's promised trade (paper Section 1).
+
+"Using shadow paging near the leaf pages where splits are most common
+would improve split performance; using page reorganization nearer the
+root would reduce space overhead."
+"""
+
+import pytest
+
+from repro.core import items as I
+from repro.core.nodeview import NodeView
+from repro.model import measure_tree
+from repro.workload import random_permutation
+
+PAGE = 1024
+N = 6000
+
+
+def internal_item_overhead(tree):
+    """Mean internal item size above level 1 — where the hybrid saves the
+    prevPtr four bytes."""
+    sizes = []
+    stack = [tree._root_page()]
+    file = tree.file
+    while stack:
+        page_no = stack.pop()
+        buf = file.pin(page_no)
+        view = NodeView(buf.data, tree.page_size)
+        try:
+            if view.is_leaf:
+                continue
+            if view.level >= 2:
+                for i in range(view.n_keys):
+                    sizes.append(len(view.item_bytes_at(i)))
+            stack.extend(view.child_at(i) for i in range(view.n_keys))
+        finally:
+            file.unpin(buf)
+    return sum(sizes) / len(sizes) if sizes else 0.0
+
+
+def build(kind):
+    from repro.model import measure_tree as _measure
+    keys = random_permutation(N, seed=11)
+    from repro import StorageEngine, TREE_CLASSES, TID
+    engine = StorageEngine.create(page_size=PAGE, seed=7)
+    tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+    for count, key in enumerate(keys):
+        tree.insert(key, TID(1 + (count >> 8), count & 0xFF))
+        if (count + 1) % 512 == 0:
+            engine.sync()
+    engine.sync()
+    return tree
+
+
+def test_hybrid_space_vs_shadow(benchmark):
+    trees = benchmark.pedantic(
+        lambda: {k: build(k) for k in ("shadow", "hybrid", "reorg")},
+        rounds=1, iterations=1)
+    shadow, hybrid = trees["shadow"], trees["hybrid"]
+    if shadow.height >= 3:
+        # above level 1 the hybrid's items are four bytes slimmer
+        assert internal_item_overhead(hybrid) < \
+            internal_item_overhead(shadow)
+    # and it stalls far less than pure reorg on the same random load
+    assert hybrid.stats_sync_stalls <= trees["reorg"].stats_sync_stalls
+    benchmark.extra_info["hybrid_stalls"] = hybrid.stats_sync_stalls
+    benchmark.extra_info["reorg_stalls"] = trees["reorg"].stats_sync_stalls

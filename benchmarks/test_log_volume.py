@@ -1,0 +1,19 @@
+"""Section 4 ablation: physical vs logical index logging volume."""
+
+import pytest
+
+from repro.bench import logvolume
+
+
+def test_log_volume_comparison(benchmark):
+    data = benchmark.pedantic(logvolume.run, rounds=1, iterations=1,
+                              kwargs={"n": 6000, "page_size": 2048})
+    benchmark.extra_info["ratio"] = round(data["ratio"], 2)
+    benchmark.extra_info["phys_bytes"] = data["phys_bytes"]
+    benchmark.extra_info["logi_bytes"] = data["logi_bytes"]
+    # "would make the write-ahead log more compact"
+    assert data["ratio"] > 1.5
+    # "prevent B-tree keys corrupted by software errors from propagating
+    # into the log"
+    assert data["phys_poisoned"] > 0
+    assert data["logi_poisoned"] == 0

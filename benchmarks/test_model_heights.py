@@ -1,0 +1,38 @@
+"""Section 5: the tree-height analysis, regenerated and asserted.
+
+Not a timing table in the paper but an analytic "figure"; the benchmark
+times the sweep and asserts the two claims its text states.
+"""
+
+import pytest
+
+from repro.bench import heights
+
+
+def test_section5_height_analysis(benchmark):
+    data = benchmark.pedantic(heights.run, rounds=1, iterations=1,
+                              kwargs={"page_size": 8192, "fill": 0.5})
+    # claim: "the heights of larger normal and shadow B-link-trees will
+    # coincide for most index sizes"
+    assert all(fraction > 0.9 for fraction in data["coincide"].values())
+    # claim: four-byte keys hit the 2 GB file limit before five levels
+    assert data["at_limit"][4]["normal"] < 5
+    assert data["at_limit"][4]["shadow"] < 5
+    benchmark.extra_info["coincide_4B"] = data["coincide"][4]
+    benchmark.extra_info["keys_at_2gb"] = data["keys_at_2gb_4byte"]
+
+
+def test_model_validated_against_built_trees(benchmark):
+    from repro.model import measure_tree
+    from repro.workload import ascending
+
+    def validate():
+        out = {}
+        for kind in ("normal", "shadow", "reorg"):
+            measured = measure_tree(kind, ascending(3000), page_size=1024)
+            out[kind] = (measured.height, measured.model_height)
+        return out
+
+    result = benchmark.pedantic(validate, rounds=1, iterations=1)
+    for kind, (built, modeled) in result.items():
+        assert abs(built - modeled) <= 1, kind

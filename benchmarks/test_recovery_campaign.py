@@ -1,0 +1,31 @@
+"""Recovery-correctness campaign as a benchmark: crash rate, repair
+counts, restart cost, and the baseline contrast."""
+
+import pytest
+
+from repro.bench.recovery import campaign
+
+
+@pytest.mark.parametrize("kind", ["shadow", "reorg", "hybrid"])
+def test_recoverable_campaign(benchmark, kind):
+    result = benchmark.pedantic(
+        campaign, rounds=1, iterations=1,
+        kwargs={"kind": kind, "runs": 15, "n": 400, "page_size": 512})
+    benchmark.extra_info["crashes"] = result.crashes
+    benchmark.extra_info["repairs"] = dict(result.repairs)
+    benchmark.extra_info["mean_restart_ms"] = round(
+        result.mean_restart_ms, 2)
+    assert result.crashes >= 8
+    assert result.lost_data == 0
+    assert result.corrupt == 0
+    assert result.recovered == result.crashes
+
+
+def test_baseline_campaign(benchmark):
+    result = benchmark.pedantic(
+        campaign, rounds=1, iterations=1,
+        kwargs={"kind": "normal", "runs": 15, "n": 400, "page_size": 512})
+    benchmark.extra_info["crashes"] = result.crashes
+    benchmark.extra_info["failures"] = result.lost_data + result.corrupt
+    assert result.crashes >= 8
+    assert result.lost_data + result.corrupt > 0

@@ -1,0 +1,29 @@
+"""Reorg block-for-sync ablation (Section 3.4 reclamation case 1).
+
+"The page reorganization scheme ... performs poorly when the same index
+page splits many times during the same transaction."
+"""
+
+import pytest
+
+from repro.bench import stalls
+
+
+def test_reorg_stall_ablation(benchmark):
+    rows = benchmark.pedantic(
+        stalls.run, rounds=1, iterations=1,
+        kwargs={"n": 4000, "page_size": 1024, "intervals": (100, 4000)})
+    by = {(r["kind"], r["sync_every"]): r for r in rows}
+    benchmark.extra_info["reorg_forced_syncs_long_txn"] = \
+        by[("reorg", 4000)]["forced_syncs"]
+    # only the reorg tree ever blocks for a sync
+    assert by[("reorg", 4000)]["forced_syncs"] > 0
+    assert by[("shadow", 4000)]["forced_syncs"] == 0
+    assert by[("normal", 4000)]["forced_syncs"] == 0
+    # longer transactions (rarer commits) stall more
+    assert by[("reorg", 4000)]["forced_syncs"] >= \
+        by[("reorg", 100)]["forced_syncs"]
+    # the hybrid moves the hot leaf splits to shadow paging: far fewer
+    # stalls than pure reorg under the same workload
+    assert by[("hybrid", 4000)]["forced_syncs"] < \
+        by[("reorg", 4000)]["forced_syncs"]

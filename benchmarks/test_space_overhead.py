@@ -1,0 +1,23 @@
+"""Space-overhead ablation: shadow prevPtr fanout cost, reorg backups,
+and the Section 5 conclusion that tree heights coincide anyway."""
+
+import pytest
+
+from repro.bench import space
+
+
+def test_space_overhead(benchmark):
+    rows = benchmark.pedantic(space.run, rounds=1, iterations=1,
+                              kwargs={"n": 8000, "page_size": 2048,
+                                      "key_sizes": (4,)})
+    by_kind = {r["kind"]: r for r in rows}
+    normal, shadow = by_kind["normal"], by_kind["shadow"]
+    reorg = by_kind["reorg"]
+    benchmark.extra_info["normal_pages"] = normal["file_pages"]
+    benchmark.extra_info["shadow_pages"] = shadow["file_pages"]
+    # the Section 5 punchline: same height despite the prevPtr overhead
+    assert shadow["height"] == normal["height"]
+    # gross file churn is the shadow cost the paper concedes
+    assert shadow["file_pages"] >= normal["file_pages"]
+    # reorg keeps traditional fanout: file size tracks the baseline
+    assert reorg["file_pages"] <= normal["file_pages"] * 1.2

@@ -1,0 +1,34 @@
+"""Table 1, insert rows: build an index of four-byte keys in ascending
+order (worst-case split behaviour) for each tree kind and size.
+
+Paper shape to reproduce: normal fastest; shadow within a few percent;
+page reorganization slightly above shadow on inserts ("extra work must be
+done to order data on old pages during splits").  Absolute times differ
+(Python vs 1992 C on a DECstation); the normalized ordering is the claim.
+"""
+
+import pytest
+
+from repro.workload import ascending, build_tree
+
+from conftest import PAGE_SIZE, TABLE1_SIZES
+
+KINDS = ("normal", "reorg", "shadow", "hybrid")
+
+
+@pytest.mark.parametrize("size", TABLE1_SIZES)
+@pytest.mark.parametrize("kind", KINDS)
+def test_insert_build(benchmark, kind, size):
+    def build():
+        result, tree = build_tree(kind, ascending(size),
+                                  page_size=PAGE_SIZE)
+        return result, tree
+
+    result, tree = benchmark.pedantic(build, rounds=2, iterations=1)
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["am_seconds"] = result.am_seconds
+    benchmark.extra_info["splits"] = result.splits
+    benchmark.extra_info["height"] = result.height
+    assert result.n_ops == size
+    assert tree.height >= 2

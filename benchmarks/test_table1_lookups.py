@@ -1,0 +1,30 @@
+"""Table 1, lookup rows: probe each built index with uniformly random
+keys (the paper's 8,000-lookup test).
+
+Paper shape: the recoverable trees cost a few percent over the baseline —
+"the added expense of verifying inter-page links in traversing the tree".
+"""
+
+import pytest
+
+from repro.workload import run_lookups, uniform_lookups
+
+from conftest import LOOKUPS, TABLE1_SIZES
+
+KINDS = ("normal", "reorg", "shadow", "hybrid")
+
+
+@pytest.mark.parametrize("size", TABLE1_SIZES)
+@pytest.mark.parametrize("kind", KINDS)
+def test_uniform_lookups(benchmark, built_trees, kind, size):
+    tree = built_trees[(kind, size)]
+    probes = uniform_lookups(LOOKUPS, size, seed=1)
+
+    def probe_all():
+        return run_lookups(tree, probes)
+
+    result = benchmark.pedantic(probe_all, rounds=3, iterations=1)
+    benchmark.extra_info["kind"] = kind
+    benchmark.extra_info["size"] = size
+    benchmark.extra_info["hits"] = result.extra["hits"]
+    assert result.extra["hits"] == LOOKUPS   # every probe is in range

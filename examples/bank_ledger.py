@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""A small bank ledger on the full no-WAL stack.
+
+Demonstrates the paper's end-to-end story: the heap is no-overwrite with
+(xmin, xmax) versioning, the index is a recoverable shadow B-link tree,
+commit is sync-then-flip, and after a crash the uncommitted transfer is
+simply invisible — no undo, no log replay, restart in milliseconds.
+
+Run:  python examples/bank_ledger.py
+"""
+
+import struct
+
+from repro import CrashError, RandomSubsetCrash, StorageEngine
+from repro.txn import IndexedTable, TransactionManager
+
+_BALANCE = struct.Struct("<q")
+
+
+def encode(balance: int) -> bytes:
+    return _BALANCE.pack(balance)
+
+
+def decode(raw: bytes) -> int:
+    return _BALANCE.unpack(raw)[0]
+
+
+def transfer(table, txns, src: int, dst: int, amount: int) -> None:
+    """Move money inside one transaction: delete old versions, insert new
+    ones (the POSTGRES no-overwrite update)."""
+    with txns.begin() as txn:
+        src_balance = decode(table.get(src, xid=txn.xid))
+        dst_balance = decode(table.get(dst, xid=txn.xid))
+        if src_balance < amount:
+            raise ValueError("insufficient funds")
+        table.delete(txn, src)
+        table.delete(txn, dst)
+        # a new version under a bumped account-version key would be the
+        # archival-faithful shape; for the demo we reuse the key space
+        table.index.delete(src)
+        table.index.delete(dst)
+        table.insert(txn, src, encode(src_balance - amount))
+        table.insert(txn, dst, encode(dst_balance + amount))
+
+
+def main() -> None:
+    engine = StorageEngine.create(page_size=2048, seed=42)
+    txns = TransactionManager(engine)
+    ledger = IndexedTable.create(engine, txns, "accounts",
+                                 index_kind="shadow", codec="uint32")
+
+    # open 100 accounts with 1000 units each
+    with txns.begin() as txn:
+        for account in range(100):
+            ledger.insert(txn, account, encode(1000))
+    total = sum(decode(raw) for _, raw in ledger.scan())
+    print(f"opened 100 accounts; total balance {total}")
+
+    # a day of committed transfers
+    for step in range(50):
+        transfer(ledger, txns, src=step % 100, dst=(step * 7 + 3) % 100,
+                 amount=50)
+    total = sum(decode(raw) for _, raw in ledger.scan())
+    print(f"after 50 committed transfers: total balance {total} "
+          "(conserved)")
+
+    # a transfer whose commit sync crashes half-way
+    engine.crash_policy = RandomSubsetCrash(p=1.0, seed=9)
+    try:
+        transfer(ledger, txns, src=0, dst=1, amount=500)
+        print("unexpected: commit survived")
+    except CrashError:
+        print("\ncrash during the transfer's commit sync!")
+
+    # restart: no recovery pass at all
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    txns2 = TransactionManager(engine2)
+    ledger2 = IndexedTable.open(engine2, txns2, "accounts")
+    balances = {k: decode(raw) for k, raw in ledger2.scan()}
+    total = sum(balances.values())
+    print(f"after restart: {len(balances)} accounts, total balance "
+          f"{total}")
+    assert total == 100 * 1000, "money created or destroyed!"
+    print("the interrupted transfer is invisible: its tuple versions "
+          "belong\nto a transaction whose commit bit never flipped.")
+
+    # life goes on
+    transfer(ledger2, txns2, src=5, dst=6, amount=123)
+    print("post-recovery transfer OK; account 6 =",
+          decode(ledger2.get(6)))
+
+
+if __name__ == "__main__":
+    main()

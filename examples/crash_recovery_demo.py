@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""Crash/recovery walkthrough, including Figure 3's worst case.
+
+Builds each recoverable tree, crashes the commit sync keeping a chosen
+subset of pages, restarts, and narrates the repairs the tree performs on
+first use — ending with the dual-path scenario of Figure 3, where the
+root-to-leaf path and the peer-pointer path disagree until the first
+insert splices the stale path out.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import (
+    CrashError,
+    CrashOnceKeepingPages,
+    StorageEngine,
+    TID,
+    TREE_CLASSES,
+)
+from repro.core.nodeview import NodeView
+
+PAGE = 512
+
+
+def build(kind, seed=13):
+    engine = StorageEngine.create(page_size=PAGE, seed=seed)
+    tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+    committed = set(range(96))
+    for i in sorted(committed):
+        tree.insert(i, TID(1, i % 100))
+        if (i + 1) % 32 == 0:
+            engine.sync()
+    engine.sync()
+    # keep inserting, uncommitted, until a leaf splits
+    splits = tree.stats_splits
+    i = 96
+    while tree.stats_splits == splits:
+        tree.insert(i, TID(1, i % 100))
+        i += 1
+    return engine, tree, committed
+
+
+def crash_and_recover(kind, keep_fn, label):
+    engine, tree, committed = build(kind)
+    keep = keep_fn(tree)
+    policy = CrashOnceKeepingPages({("ix", p) for p in keep})
+    try:
+        engine.sync(policy)
+    except CrashError as crash:
+        print(f"[{kind}] {label}: crashed; kept {sorted(keep) or 'none'}; "
+              f"dropped {len(crash.dropped)} pages")
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    tree2 = TREE_CLASSES[kind].open(engine2, "ix")
+    missing = [k for k in committed if tree2.lookup(k) is None]
+    assert not missing, f"LOST {missing[:5]}"
+    print(f"    all {len(committed)} committed keys recovered")
+    for report in tree2.repair_log:
+        print(f"    repair: {report}")
+    if not len(tree2.repair_log):
+        print("    (no repair needed: the durable state was already a "
+              "consistent tree)")
+    print()
+
+
+def fresh_pages(tree):
+    """Pages touched by the crashed window's split."""
+    token = tree.engine.sync_state.token()
+    out = {}
+    for page_no in range(1, tree.file.n_pages):
+        buf = tree.file.pin(page_no)
+        view = NodeView(buf.data, tree.page_size)
+        if view.sync_token == token:
+            out[page_no] = view.is_leaf
+        tree.file.unpin(buf)
+    return out
+
+
+def main() -> None:
+    print("=" * 66)
+    print("Interrupted splits: crash keeping various page subsets")
+    print("=" * 66)
+    for kind in ("shadow", "reorg", "hybrid"):
+        crash_and_recover(kind, lambda t: [], "nothing durable")
+        crash_and_recover(
+            kind,
+            lambda t: [p for p, leaf in fresh_pages(t).items()
+                       if not leaf],
+            "only the parent durable (children lost)")
+        crash_and_recover(
+            kind,
+            lambda t: [p for p, leaf in fresh_pages(t).items() if leaf],
+            "only the new leaves durable (parent lost)")
+
+    print("=" * 66)
+    print("Figure 3: the worst-case inconsistent B-link tree")
+    print("=" * 66)
+    kind = "shadow"
+    engine, tree, committed = build(kind)
+    fresh = fresh_pages(tree)
+    # lose the left neighbour's updated peer pointer: the old peer chain
+    # bypasses the new pages while the tree routes through them
+    some_leaf = next(p for p, leaf in fresh.items() if leaf)
+    buf = tree.file.pin(some_leaf)
+    neighbor = NodeView(buf.data, PAGE).left_peer
+    tree.file.unpin(buf)
+    keep = set(fresh) - {neighbor}
+    try:
+        engine.sync(CrashOnceKeepingPages({("ix", p) for p in keep}))
+    except CrashError:
+        pass
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    tree2 = TREE_CLASSES[kind].open(engine2, "ix")
+    print("after restart, before any write:")
+    print("  lookups (root-to-leaf path):",
+          all(tree2.lookup(k) is not None for k in committed))
+    scan = [v for v, _ in tree2.range_scan()]
+    print("  scan (peer-pointer path) covers committed keys:",
+          set(committed) <= set(scan))
+    print("  — the paths may disagree structurally, but they hold the")
+    print("    same valid keys, exactly as the paper argues.")
+    print("first insert into the region runs the Section 3.5.1 check:")
+    tree2.insert(50_000, TID(9, 9))
+    tree2.delete(0)
+    tree2.insert(0, TID(1, 0))
+    for report in tree2.repair_log:
+        print(f"  repair: {report}")
+    engine2.sync()
+    print("done; tree validates:",
+          len(tree2.check(strict_tokens=False,
+                          require_peer_chain=False)) >= len(committed))
+
+
+if __name__ == "__main__":
+    main()

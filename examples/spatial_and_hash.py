@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""The paper's generalization claim, live: recoverable R-tree and
+extendible hash.
+
+"Although we have implemented them only for B-link-trees, the same
+techniques can be used for R-trees, extensible hash indices, and other
+B-tree variants."  Both structures here use the shadow technique — prev
+pointers beside every child/bucket pointer, detection on first use,
+repair by re-executing the interrupted split — and both survive the same
+crash harness as the trees.
+
+Run:  python examples/spatial_and_hash.py
+"""
+
+import random
+
+from repro import (
+    CrashError,
+    ExtendibleHashIndex,
+    RandomSubsetCrash,
+    Rect,
+    RTreeIndex,
+    StorageEngine,
+    TID,
+)
+
+
+def rtree_demo() -> None:
+    print("=" * 60)
+    print("shadow-recoverable R-tree (spatial index)")
+    print("=" * 60)
+    rng = random.Random(7)
+    engine = StorageEngine.create(page_size=1024, seed=1)
+    rt = RTreeIndex.create(engine, "parks")
+    committed = []
+    for i in range(400):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        rect = Rect(x, y, x + rng.uniform(0.5, 3), y + rng.uniform(0.5, 3))
+        rt.insert(rect, TID(1 + i // 200, i % 200))
+        committed.append((rect, TID(1 + i // 200, i % 200)))
+        if (i + 1) % 50 == 0:
+            engine.sync()
+    engine.sync()
+    query = Rect(20, 20, 40, 40)
+    hits = rt.search(query)
+    print(f"built: 400 rects, {rt.stats_splits} splits; "
+          f"window query hits: {len(hits)}")
+
+    # crash mid-commit; recovery preserves every committed rectangle
+    for i in range(400, 450):
+        x = rng.uniform(0, 100)
+        rt.insert(Rect(x, x, x + 1, x + 1), TID(9, i % 200))
+    engine.crash_policy = RandomSubsetCrash(p=1.0, seed=3)
+    try:
+        engine.sync()
+    except CrashError:
+        print("crash during commit!")
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    rt2 = RTreeIndex.open(engine2, "parks")
+    ok = all((rect, tid) in rt2.search(rect) for rect, tid in committed)
+    print(f"after restart: all committed rectangles found: {ok}")
+    print("repairs:", [str(r) for r in rt2.repair_log] or "none needed")
+    print("— the parent's MBR plays the key range's role: a child whose")
+    print("  rectangles escape the promised MBR is detected on first use")
+    print("  and rebuilt from the prev page.\n")
+
+
+def hash_demo() -> None:
+    print("=" * 60)
+    print("shadow-recoverable extendible hash index")
+    print("=" * 60)
+    engine = StorageEngine.create(page_size=1024, seed=2)
+    ix = ExtendibleHashIndex.create(engine, "sessions", codec="uint32")
+    for i in range(1500):
+        ix.insert(i, TID(1 + (i >> 8), i & 0xFF))
+        if (i + 1) % 100 == 0:
+            engine.sync()
+    engine.sync()
+    print(f"built: 1500 keys; global depth {ix.global_depth}, "
+          f"{ix.stats_bucket_splits} bucket splits, "
+          f"{ix.stats_directory_doublings} directory doublings")
+
+    for i in range(1500, 1600):
+        ix.insert(i, TID(9, i % 200))
+    engine.crash_policy = RandomSubsetCrash(p=1.0, seed=5)
+    try:
+        engine.sync()
+    except CrashError:
+        print("crash during commit!")
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    ix2 = ExtendibleHashIndex.open(engine2, "sessions")
+    ok = all(ix2.lookup(i) is not None for i in range(1500))
+    print(f"after restart: all 1500 committed keys found: {ok}")
+    print("repairs:", [str(r) for r in ix2.repair_log] or "none needed")
+    print("— directory slots hold <bucketPtr, prevPtr> pairs; a lost")
+    print("  bucket is rebuilt by re-hashing the prev bucket's keys, and")
+    print("  a lost directory is re-doubled from the previous chain.")
+
+
+if __name__ == "__main__":
+    rtree_demo()
+    hash_demo()

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Section 4 in action: physical vs logical index logging.
+
+Builds the same index twice — once over the baseline tree with ARIES/IM-
+style physical key logging, once over the self-recovering shadow tree
+with logical operation logging — and compares log volume, then shows the
+fault-tolerance argument: a software-corrupted key propagates into the
+physical log but can never reach the logical one.
+
+Run:  python examples/wal_comparison.py
+"""
+
+from repro.bench.logvolume import run
+
+
+def main() -> None:
+    data = run(n=10_000, page_size=4096)
+    print("workload: 10,000 ascending inserts "
+          f"({data['splits']} page splits)\n")
+    print(f"{'discipline':<12} {'bytes':>12} {'records':>10}")
+    print("-" * 36)
+    print(f"{'physical':<12} {data['phys_bytes']:>12,} "
+          f"{data['phys_records']:>10,}")
+    print(f"{'logical':<12} {data['logi_bytes']:>12,} "
+          f"{data['logi_records']:>10,}")
+    print(f"\nphysical / logical volume: {data['ratio']:.2f}x")
+    print("— every key a split moves becomes a delete+insert pair in the")
+    print("  physical log; the recoverable trees log nothing for splits.\n")
+
+    print("corruption propagation (a poisoned key planted on a page):")
+    print(f"  records carrying the poison — physical: "
+          f"{data['phys_poisoned']}, logical: {data['logi_poisoned']}")
+    print("— 'Logical logging never copies information from the index")
+    print("  into the log.  Corruption of an index page will not be")
+    print("  retained after a crash unless the corrupted page is saved")
+    print("  in a checkpoint.'")
+
+
+if __name__ == "__main__":
+    main()

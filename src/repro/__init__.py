@@ -1,0 +1,89 @@
+"""repro — a reproduction of Sullivan & Olson, "An Index Implementation
+Supporting Fast Recovery for the POSTGRES Storage System" (ICDE 1992).
+
+The package implements, from scratch and over a byte-exact simulated
+storage system, the paper's two no-WAL recoverable B-link-tree techniques
+(shadow paging and page reorganization), the traditional baseline tree,
+the hybrid the paper sketches, the POSTGRES-style no-overwrite transaction
+substrate, a WAL comparison layer (physical vs logical logging), the
+Section 5 tree-height model, and the benchmark harness that regenerates
+Table 1.
+
+Quickstart::
+
+    from repro import StorageEngine, ShadowBLinkTree, TID
+
+    engine = StorageEngine.create(page_size=8192)
+    index = ShadowBLinkTree.create(engine, "orders", codec="uint32")
+    index.insert(42, TID(7, 0))
+    engine.sync()                       # commit-time durability
+    assert index.lookup(42) == TID(7, 0)
+"""
+
+from .constants import DEFAULT_PAGE_SIZE
+from .core import (
+    HybridBLinkTree,
+    NormalBLinkTree,
+    ReorgBLinkTree,
+    ShadowBLinkTree,
+    TID,
+    TREE_CLASSES,
+    make_unique,
+    split_unique,
+)
+from .hash import ExtendibleHashIndex
+from .rtree import Rect, RTreeIndex
+from .errors import (
+    CrashError,
+    DuplicateKeyError,
+    InconsistencyError,
+    KeyNotFoundError,
+    RecoveryError,
+    ReproError,
+    TransactionError,
+    TreeError,
+)
+from .storage import (
+    CrashOnNthSync,
+    CrashOnceKeepingPages,
+    CrashPolicy,
+    RandomSubsetCrash,
+    RecordingPolicy,
+    SimulatedDisk,
+    StorageEngine,
+    SubsetEnumerator,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CrashError",
+    "CrashOnNthSync",
+    "CrashOnceKeepingPages",
+    "CrashPolicy",
+    "DEFAULT_PAGE_SIZE",
+    "DuplicateKeyError",
+    "ExtendibleHashIndex",
+    "HybridBLinkTree",
+    "InconsistencyError",
+    "KeyNotFoundError",
+    "NormalBLinkTree",
+    "RTreeIndex",
+    "RandomSubsetCrash",
+    "Rect",
+    "RecordingPolicy",
+    "RecoveryError",
+    "ReorgBLinkTree",
+    "ReproError",
+    "ShadowBLinkTree",
+    "SimulatedDisk",
+    "StorageEngine",
+    "SubsetEnumerator",
+    "TID",
+    "TREE_CLASSES",
+    "TransactionError",
+    "TreeError",
+    "__version__",
+    "make_unique",
+    "split_unique",
+]

@@ -1,0 +1,16 @@
+"""Benchmark harness CLIs.
+
+Each module regenerates one of the paper's results from the command line:
+
+* ``python -m repro.bench.table1`` — Table 1 (insert/lookup comparison);
+* ``python -m repro.bench.heights`` — the Section 5 height analysis;
+* ``python -m repro.bench.recovery`` — crash/recovery campaign and
+  restart-time measurement (the paper's motivating claim);
+* ``python -m repro.bench.logvolume`` — Section 4's physical vs logical
+  log volume comparison;
+* ``python -m repro.bench.space`` — space-overhead ablation;
+* ``python -m repro.bench.stalls`` — the reorg block-for-sync ablation.
+
+The pytest-benchmark suite under ``benchmarks/`` drives the same code at
+CI-friendly sizes.
+"""

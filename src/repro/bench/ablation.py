@@ -1,0 +1,103 @@
+"""Overhead decomposition ablation.
+
+Table 1 attributes the recoverable trees' cost to two sources: descent-
+time link verification ("the added expense of verifying inter-page links
+in traversing the tree") and split-time mechanics (shadow allocates two
+pages and never reuses the old one; reorg copies backup keys).  This
+ablation separates them by toggling the ``VERIFIES`` flag on a shadow
+tree: with verification off, what remains is pure split mechanics.
+
+Usage::
+
+    python -m repro.bench.ablation [--n 20000] [--lookups 8000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+
+from ..core import TREE_CLASSES
+from ..core.shadow import ShadowBLinkTree
+from ..workload import ascending, build_tree, run_lookups, uniform_lookups
+
+
+class _UnverifiedShadowTree(ShadowBLinkTree):
+    """Shadow split mechanics without descent verification.
+
+    NOT crash-safe to use in production — detection is what recovery
+    hangs on — this class exists purely to price the verification."""
+
+    KIND = "shadow"        # reuse the shadow meta format
+    VERIFIES = False
+
+
+def run(*, n: int = 20000, lookups: int = 8000, page_size: int = 8192,
+        reps: int = 3) -> dict:
+    configs = {
+        "normal": TREE_CLASSES["normal"],
+        "shadow (no verify)": _UnverifiedShadowTree,
+        "shadow (full)": TREE_CLASSES["shadow"],
+    }
+    out = {}
+    for label, cls in configs.items():
+        ins, looks = [], []
+        for rep in range(reps):
+            from ..storage import StorageEngine
+            from ..core.keys import TID
+            import time
+            engine = StorageEngine.create(page_size=page_size, seed=rep)
+            tree = cls.create(engine, "bench", codec="uint32")
+            clock = time.perf_counter
+            am = 0.0
+            for count, key in enumerate(ascending(n)):
+                tid = TID(1 + (count >> 8), count & 0xFF)
+                t0 = clock()
+                tree.insert(key, tid)
+                am += clock() - t0
+                if (count + 1) % 1000 == 0:
+                    engine.sync()
+            engine.sync()
+            ins.append(am)
+            probes = uniform_lookups(lookups, n, seed=rep)
+            looks.append(run_lookups(tree, probes).am_seconds)
+        out[label] = {
+            "insert": statistics.fmean(ins),
+            "lookup": statistics.fmean(looks),
+        }
+    base = out["normal"]
+    for label, row in out.items():
+        row["insert_x"] = row["insert"] / base["insert"]
+        row["lookup_x"] = row["lookup"] / base["lookup"]
+    return out
+
+
+def print_report(data: dict) -> None:
+    print(f"{'configuration':<20} {'insert':>10} {'vs normal':>10} "
+          f"{'lookup':>10} {'vs normal':>10}")
+    print("-" * 64)
+    for label, row in data.items():
+        print(f"{label:<20} {row['insert']:>9.3f}s {row['insert_x']:>10.3f} "
+              f"{row['lookup']:>9.3f}s {row['lookup_x']:>10.3f}")
+    full = data["shadow (full)"]
+    bare = data["shadow (no verify)"]
+    for op in ("insert", "lookup"):
+        total = full[f"{op}_x"] - 1
+        mech = bare[f"{op}_x"] - 1
+        verify = full[f"{op}_x"] - bare[f"{op}_x"]
+        if total > 0:
+            print(f"{op}: total overhead {total:+.1%} = split/structure "
+                  f"{mech:+.1%} + verification {verify:+.1%}")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=20000)
+    parser.add_argument("--lookups", type=int, default=8000)
+    parser.add_argument("--reps", type=int, default=3)
+    args = parser.parse_args(argv)
+    print_report(run(n=args.n, lookups=args.lookups, reps=args.reps))
+
+
+if __name__ == "__main__":
+    main()

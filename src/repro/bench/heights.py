@@ -1,0 +1,115 @@
+"""Regenerate the Section 5 analysis: the effect of prevPtr overhead on
+tree heights.
+
+Three results, matching the paper's three statements:
+
+1. a height table over key sizes and index sizes showing that normal and
+   shadow trees have the same height almost everywhere;
+2. the coincidence fraction (share of index sizes at which the heights
+   agree);
+3. the height each tree reaches when its file hits the 2 GB UNIX limit —
+   "a B-link-tree of either type storing four-byte keys would exceed the
+   2 GByte maximum size of a UNIX file before it reached five levels".
+
+Usage::
+
+    python -m repro.bench.heights [--page-size 8192] [--fill 0.5]
+                                  [--validate]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..model import (
+    PageModel,
+    coincidence_fraction,
+    height_at_file_limit,
+    height_table,
+    keys_at_file_limit,
+    measure_tree,
+)
+from ..workload import ascending, random_permutation
+
+KEY_SIZES = [4, 8, 16, 32, 64]
+INDEX_SIZES = [10_000, 100_000, 1_000_000, 10_000_000, 75_000_000]
+
+
+def run(*, page_size: int = 8192, fill: float = 0.5) -> dict:
+    rows = height_table(KEY_SIZES, INDEX_SIZES, page_size=page_size,
+                        fill_factor=fill)
+    coincide = {
+        key_size: coincidence_fraction(key_size, page_size=page_size,
+                                       fill_factor=fill)
+        for key_size in KEY_SIZES
+    }
+    at_limit = {}
+    for key_size in KEY_SIZES:
+        at_limit[key_size] = {
+            kind: height_at_file_limit(
+                PageModel(kind, page_size, key_size, fill))
+            for kind in ("normal", "shadow", "reorg")
+        }
+    four_byte = PageModel("normal", page_size, 4, fill)
+    return {
+        "rows": rows,
+        "coincide": coincide,
+        "at_limit": at_limit,
+        "keys_at_2gb_4byte": keys_at_file_limit(four_byte),
+    }
+
+
+def print_report(data: dict) -> None:
+    print("Tree heights (worst-case fill)")
+    header = (f"{'key':>4} {'n_keys':>12} {'normal':>7} {'shadow':>7} "
+              f"{'reorg':>7} {'hybrid':>7}")
+    print(header)
+    print("-" * len(header))
+    for row in data["rows"]:
+        print(f"{row['key_size']:>4} {row['n_keys']:>12,} "
+              f"{row['normal']:>7} {row['shadow']:>7} "
+              f"{row['reorg']:>7} {row['hybrid']:>7}")
+    print()
+    print("Fraction of index sizes where shadow height == normal height:")
+    for key_size, fraction in data["coincide"].items():
+        print(f"  {key_size:>3}-byte keys: {fraction:6.1%}")
+    print()
+    print("Height when the file reaches the 2 GB UNIX limit:")
+    for key_size, heights in data["at_limit"].items():
+        cells = " ".join(f"{kind}={height}"
+                         for kind, height in heights.items())
+        print(f"  {key_size:>3}-byte keys: {cells}")
+    print()
+    print(f"Keys held by a 4-byte-key tree at the 2 GB limit: "
+          f"{data['keys_at_2gb_4byte']:,} "
+          "(height stays below five levels, as the paper states)")
+
+
+def validate(page_size: int = 1024) -> None:
+    """Model-vs-measured spot check on trees small enough to build."""
+    print("\nModel validation (built trees vs analytic heights):")
+    for kind in ("normal", "shadow", "reorg", "hybrid"):
+        for n, order in ((3000, "ascending"), (3000, "random")):
+            keys = (list(ascending(n)) if order == "ascending"
+                    else random_permutation(n, seed=7))
+            measured = measure_tree(kind, keys, page_size=page_size)
+            flag = "==" if measured.height == measured.model_height else "!="
+            print(f"  {kind:<7} {order:<10} n={n}: measured h="
+                  f"{measured.height} {flag} model h="
+                  f"{measured.model_height} "
+                  f"(leaf fill {measured.leaf_fill:.2f})")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--page-size", type=int, default=8192)
+    parser.add_argument("--fill", type=float, default=0.5)
+    parser.add_argument("--validate", action="store_true")
+    args = parser.parse_args(argv)
+    print_report(run(page_size=args.page_size, fill=args.fill))
+    if args.validate:
+        validate()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""Reorg block-for-sync ablation.
+
+"The page reorganization scheme ... performs poorly when the same index
+page splits many times during the same transaction" — because an insert
+into a page whose backup is still unreclaimed (sync token equal to the
+global counter) must block for a sync (reclamation case 1).
+
+This bench counts forced syncs and compares AM time for the reorg tree
+against shadow/normal across commit intervals, showing the crossover the
+paper predicts: the longer a transaction runs between syncs, the worse
+page reorganization does relative to shadow paging.
+
+Usage::
+
+    python -m repro.bench.stalls [--n 8000] [--page-size 1024]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from ..core import TREE_CLASSES
+from ..core.keys import TID
+from ..storage import StorageEngine
+from ..workload import random_permutation
+
+
+def run_one(kind: str, n: int, sync_every: int, *,
+            page_size: int = 1024, seed: int = 0) -> dict:
+    # random insertion order: after a page splits, a later insert is very
+    # likely to land back on the reorganized half while its backup is
+    # still unreclaimed — the exact situation that forces a sync.
+    # (Ascending order never re-enters the reorganized page and would
+    # show no stalls at all.)
+    engine = StorageEngine.create(page_size=page_size, seed=seed)
+    tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+    clock = time.perf_counter
+    am = 0.0
+    for count, key in enumerate(random_permutation(n, seed=seed + 17)):
+        tid = TID(1 + (count >> 8), count & 0xFF)
+        start = clock()
+        tree.insert(key, tid)
+        am += clock() - start
+        if (count + 1) % sync_every == 0:
+            engine.sync()
+    engine.sync()
+    return {
+        "kind": kind,
+        "sync_every": sync_every,
+        "am_seconds": am,
+        "forced_syncs": getattr(tree, "stats_sync_stalls", 0),
+        "total_syncs": engine.stats_syncs,
+        "splits": tree.stats_splits,
+    }
+
+
+def run(*, n: int = 8000, page_size: int = 1024,
+        intervals: tuple[int, ...] = (100, 1000, 10000)) -> list[dict]:
+    rows = []
+    for interval in intervals:
+        for kind in ("normal", "shadow", "reorg", "hybrid"):
+            rows.append(run_one(kind, n, interval, page_size=page_size))
+    return rows
+
+
+def print_report(rows: list[dict]) -> None:
+    header = (f"{'sync every':>11} {'kind':<8} {'AM time':>9} "
+              f"{'vs normal':>10} {'forced syncs':>13} {'splits':>7}")
+    print(header)
+    print("-" * len(header))
+    base: dict[int, float] = {}
+    for row in rows:
+        if row["kind"] == "normal":
+            base[row["sync_every"]] = row["am_seconds"]
+    for row in rows:
+        ratio = row["am_seconds"] / base[row["sync_every"]]
+        print(f"{row['sync_every']:>11} {row['kind']:<8} "
+              f"{row['am_seconds']:>8.3f}s {ratio:>10.3f} "
+              f"{row['forced_syncs']:>13} {row['splits']:>7}")
+    print()
+    print("note: forced syncs are the reorg tree blocking for a sync so a "
+          "page that split twice in one window can reclaim its backup "
+          "(Section 3.4 reclamation case 1)")
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=8000)
+    parser.add_argument("--page-size", type=int, default=1024)
+    parser.add_argument("--intervals", default="100,1000,10000")
+    args = parser.parse_args(argv)
+    intervals = tuple(int(i) for i in args.intervals.split(","))
+    print_report(run(n=args.n, page_size=args.page_size,
+                     intervals=intervals))
+
+
+if __name__ == "__main__":
+    main()

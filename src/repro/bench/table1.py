@@ -1,0 +1,111 @@
+"""Regenerate Table 1: insert/lookup performance comparison.
+
+Paper workload: build indices of 10,000 / 20,000 / 40,000 four-byte keys
+in ascending order (worst-case split behaviour), then probe each with
+8,000 uniformly distributed random lookups.  Times are access-method only;
+each cell shows seconds and, in parentheses, the value normalized to the
+standard B-link tree.
+
+Usage::
+
+    python -m repro.bench.table1 [--sizes 10000,20000,40000] [--reps 3]
+                                 [--lookups 8000] [--page-size 8192]
+                                 [--kinds normal,reorg,shadow,hybrid]
+                                 [--wisconsin]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+
+from ..workload import (
+    ascending,
+    build_tree,
+    format_table1,
+    run_lookups,
+    uniform_lookups,
+    wisconsin_context,
+)
+
+
+def run(sizes: list[int], *, reps: int = 3, lookups: int = 8000,
+        page_size: int = 8192,
+        kinds: tuple[str, ...] = ("normal", "reorg", "shadow"),
+        quiet: bool = False) -> dict:
+    """Run the Table 1 workload; returns the raw numbers.
+
+    Result layout: ``{"insert": {kind: {size: seconds}},
+    "lookup": {...}, "stdev_pct": float}`` where seconds are means over
+    *reps* repetitions.
+    """
+    insert_results: dict[str, dict[int, float]] = {k: {} for k in kinds}
+    lookup_results: dict[str, dict[int, float]] = {k: {} for k in kinds}
+    spreads: list[float] = []
+    for kind in kinds:
+        for size in sizes:
+            ins_times, look_times = [], []
+            for rep in range(reps):
+                result, tree = build_tree(
+                    kind, ascending(size), page_size=page_size,
+                    seed=rep)
+                ins_times.append(result.am_seconds)
+                probes = uniform_lookups(lookups, size, seed=rep)
+                look_times.append(run_lookups(tree, probes).am_seconds)
+            insert_results[kind][size] = statistics.fmean(ins_times)
+            lookup_results[kind][size] = statistics.fmean(look_times)
+            for times in (ins_times, look_times):
+                if len(times) > 1:
+                    spreads.append(100 * statistics.stdev(times)
+                                   / statistics.fmean(times))
+            if not quiet:
+                print(f"  built {kind} x {size} "
+                      f"(insert {insert_results[kind][size]:.3f}s)")
+    worst = max(
+        results[kind][size] / results[kinds[0]][size]
+        for results in (insert_results, lookup_results)
+        for kind in kinds[1:]
+        for size in sizes
+    ) - 1.0 if len(kinds) > 1 else 0.0
+    return {
+        "insert": insert_results,
+        "lookup": lookup_results,
+        "stdev_pct": max(spreads, default=0.0),
+        "worst_overhead": worst,
+        "lookups": lookups,
+    }
+
+
+def print_report(data: dict, sizes: list[int], *,
+                 wisconsin: bool = False) -> None:
+    print()
+    print(format_table1(data["insert"], sizes, title="Inserts"))
+    print()
+    print(format_table1(
+        data["lookup"], sizes,
+        title=f"{data['lookups']:,} Lookups"))
+    print()
+    print(f"max stddev across cells: {data['stdev_pct']:.1f}% of mean "
+          "(paper: < 2.5%)")
+    if wisconsin:
+        print(wisconsin_context(data["worst_overhead"]))
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sizes", default="10000,20000,40000")
+    parser.add_argument("--reps", type=int, default=3)
+    parser.add_argument("--lookups", type=int, default=8000)
+    parser.add_argument("--page-size", type=int, default=8192)
+    parser.add_argument("--kinds", default="normal,reorg,shadow")
+    parser.add_argument("--wisconsin", action="store_true")
+    args = parser.parse_args(argv)
+    sizes = [int(s) for s in args.sizes.split(",")]
+    kinds = tuple(args.kinds.split(","))
+    data = run(sizes, reps=args.reps, lookups=args.lookups,
+               page_size=args.page_size, kinds=kinds)
+    print_report(data, sizes, wisconsin=args.wisconsin)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Global constants shared across the repro package.
+
+The values mirror the environment the paper assumes: fixed-size pages,
+atomic single-page writes, and a UNIX file-size ceiling of 2 GB (the
+Section 5 analysis depends on that ceiling).
+"""
+
+from __future__ import annotations
+
+#: Default page size in bytes.  POSTGRES used 8 kB pages; tests shrink this
+#: (via the ``page_size`` argument threaded through the stack) to force deep
+#: trees with few keys.
+DEFAULT_PAGE_SIZE = 8192
+
+#: Smallest page size the header/line-table layout supports.
+MIN_PAGE_SIZE = 128
+
+#: Largest page size addressable by the 16-bit intra-page offsets.
+MAX_PAGE_SIZE = 32768
+
+#: The 2 GB UNIX file-size limit of the paper's era (Section 5).
+UNIX_FILE_SIZE_LIMIT = 2 * 1024 * 1024 * 1024
+
+#: Sentinel page number meaning "no page" (valid pages start at 0; page 0 is
+#: always a control/meta page, so it can never be a child or peer).
+INVALID_PAGE = 0
+
+#: How far the persisted *maximum sync counter* runs ahead of the in-memory
+#: global sync counter.  When the counter gets within one increment of the
+#: maximum, a new maximum is chosen and written to stable storage with a
+#: synchronous single-page write (Section 3.2).
+SYNC_COUNTER_BATCH = 1024
+
+#: Magic number stamped in every page header.
+PAGE_MAGIC = 0x5053  # "PS" for Postgres Storage
+
+# Page types --------------------------------------------------------------
+
+PAGE_FREE = 0       #: unformatted / zeroed page
+PAGE_CONTROL = 1    #: file control page (page 0): root pointers, counters
+PAGE_INTERNAL = 2   #: B-tree internal page
+PAGE_LEAF = 3       #: B-tree leaf page
+PAGE_HEAP = 4       #: heap-relation page
+
+# Header flag bits ---------------------------------------------------------
+
+#: Leaf page verified to be linked into the current peer-pointer path after
+#: the last crash (Section 3.5.1: "mark the page to avoid rechecking").
+FLAG_PEER_PATH_CHECKED = 0x01
+
+#: Page-reorganization pages: the *live* line-table entries hold the
+#: low-key half of the pre-split page (backup entries hold the high half).
+#: Cleared when the live half is the high-key half.
+FLAG_LIVE_IS_LOW = 0x02
+
+#: Page belongs to a shadow-paging tree (items carry prevPtr fields).
+FLAG_SHADOW_ITEMS = 0x04

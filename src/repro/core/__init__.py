@@ -1,0 +1,75 @@
+"""The paper's contribution: recoverable B-link-tree index methods.
+
+Public entry points:
+
+* :class:`NormalBLinkTree` — the traditional (crash-unsafe) baseline;
+* :class:`ShadowBLinkTree` — Technique One, shadow-page indices;
+* :class:`ReorgBLinkTree` — Technique Two, page-reorganization indices;
+* :class:`HybridBLinkTree` — shadow leaves over reorg internals.
+
+All four share the same API (``create``/``open``/``insert``/``lookup``/
+``delete``/``range_scan``/``check``) over a
+:class:`~repro.storage.StorageEngine`.
+"""
+
+from .btree_base import BLinkTree, PathEntry
+from .detect import Action, DetectionReport, Kind, RepairLog
+from .hybrid import HybridBLinkTree
+from .items import (
+    pack_internal_item,
+    pack_leaf_item,
+)
+from .keys import (
+    CODECS,
+    FULL_BOUNDS,
+    MIN_KEY,
+    TID,
+    Int64Codec,
+    KeyBounds,
+    KeyCodec,
+    StringCodec,
+    UInt32Codec,
+    make_unique,
+    split_unique,
+)
+from .meta import MetaView
+from .nodeview import BACKUP_RECORD_SIZE, NodeView
+from .normal import NormalBLinkTree
+from .reorg import ReorgBLinkTree
+from .shadow import ShadowBLinkTree
+
+TREE_CLASSES = {
+    cls.KIND: cls
+    for cls in (NormalBLinkTree, ShadowBLinkTree, ReorgBLinkTree,
+                HybridBLinkTree)
+}
+
+__all__ = [
+    "Action",
+    "BACKUP_RECORD_SIZE",
+    "BLinkTree",
+    "CODECS",
+    "DetectionReport",
+    "FULL_BOUNDS",
+    "HybridBLinkTree",
+    "Int64Codec",
+    "KeyBounds",
+    "KeyCodec",
+    "Kind",
+    "MIN_KEY",
+    "MetaView",
+    "NodeView",
+    "NormalBLinkTree",
+    "PathEntry",
+    "ReorgBLinkTree",
+    "RepairLog",
+    "ShadowBLinkTree",
+    "StringCodec",
+    "TID",
+    "TREE_CLASSES",
+    "UInt32Codec",
+    "make_unique",
+    "pack_internal_item",
+    "pack_leaf_item",
+    "split_unique",
+]

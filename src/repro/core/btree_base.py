@@ -1,0 +1,1052 @@
+"""Base B-link-tree machinery shared by all three index techniques.
+
+:class:`BLinkTree` implements everything that is *common* to the normal,
+shadow-paging, and page-reorganization trees: descent with expected-key-
+range tracking, lookup, peer-pointer range scans, the insert/delete
+templates, root management through the meta page (with the paper's
+previous-root shadowing), empty-page reclamation, and a full-tree validator
+used by the test suite.
+
+Subclasses provide the technique-specific pieces through hooks:
+
+``_split_and_insert``
+    the page-split algorithm (Sections 3.3 / 3.4) including the parent
+    update;
+``_check_child``
+    inter-page inconsistency detection + repair performed while stepping
+    from a parent to a child (Section 3.3.1);
+``_before_page_update``
+    the page-reorganization reclamation check (Section 3.4);
+``_follow_moves``
+    Lehman-Yao style right-moves through ``newPage``/peer links
+    (Sections 3.5 / 3.6).
+
+Internal-page layout invariant: entry 0 of an internal page carries the
+page's low separator (the minus-infinity sentinel on the leftmost spine),
+and every entry's key is the low bound of its child's range.  The expected
+range ``[lo, hi)`` for a child is therefore computable during descent —
+exactly the information Section 3.3.1's detector compares against the keys
+actually found on the child.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
+from ..errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    RecoveryError,
+    TreeError,
+)
+from ..storage import is_zeroed, try_read_header, valid_magic
+from ..storage.buffer_pool import Buffer
+from ..storage.engine import StorageEngine
+from ..storage.pagefile import PageFile
+from . import items as I
+from .detect import Action, DetectionReport, Kind, RepairLog
+from .keys import CODECS, FULL_BOUNDS, MIN_KEY, TID, KeyBounds, KeyCodec
+from .meta import MetaView
+from .nodeview import NodeView
+
+
+@dataclass
+class PathEntry:
+    """One pinned page on the root-to-leaf path of an update descent."""
+
+    page_no: int
+    buffer: Buffer
+    view: NodeView
+    bounds: KeyBounds
+    slot: int = -1  # routing slot taken toward the child (internal pages)
+
+
+class BLinkTree:
+    """Abstract B-link tree over one page file.
+
+    Concrete trees: :class:`~repro.core.normal.NormalBLinkTree`,
+    :class:`~repro.core.shadow.ShadowBLinkTree`,
+    :class:`~repro.core.reorg.ReorgBLinkTree`,
+    :class:`~repro.core.hybrid.HybridBLinkTree`.
+    """
+
+    KIND = "abstract"
+    #: do internal items carry a prevPtr field?
+    SHADOW_ITEMS = False
+    #: does descent verify inter-page links (the ~3 % overhead Table 1
+    #: attributes to "verifying inter-page links in traversing the tree")?
+    VERIFIES = True
+
+    def __init__(self, engine: StorageEngine, file: PageFile,
+                 codec: KeyCodec):
+        self.engine = engine
+        self.file = file
+        self.codec = codec
+        self.page_size = file.page_size
+        self.repair_log = RepairLog()
+        #: optional callable invoked when a reorg page must block for a
+        #: sync before its backup can be reclaimed; defaults to asking the
+        #: engine for a sync
+        self.sync_hook = engine.sync
+        self.stats_splits = 0
+        self.stats_root_splits = 0
+        self.stats_moves_right = 0
+        # pages already vetted for intra-page damage since this restart
+        self._vetted: set[int] = set()
+        # leaves whose membership in the current peer-pointer path has been
+        # verified since this restart (Section 3.5.1's "mark the page to
+        # avoid rechecking on subsequent insertions")
+        self._peer_path_checked: set[int] = set()
+        # verified root page number; invalidated by _set_root.  The root
+        # image is checked once per process lifetime — a lost root can
+        # only be discovered at restart, and restarts build a new tree
+        # object
+        self._root_cache: int | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, engine: StorageEngine, name: str,
+               codec: str | KeyCodec = "uint32") -> "BLinkTree":
+        """Create a new, empty index in file *name*."""
+        codec_obj = CODECS[codec] if isinstance(codec, str) else codec
+        file = engine.create_file(name)
+        tree = cls(engine, file, codec_obj)
+        mbuf = file.pin_meta()
+        try:
+            meta = MetaView(mbuf.data, tree.page_size)
+            meta.init_meta(cls.KIND, codec_obj.name)
+            file.mark_dirty(mbuf)
+            # index creation is DDL: the empty meta page is committed with
+            # a synchronous write, so a crash before the first data sync
+            # reopens as a valid empty index
+            file.disk.write_page(0, bytes(mbuf.data))
+        finally:
+            file.unpin(mbuf)
+        return tree
+
+    @classmethod
+    def open(cls, engine: StorageEngine, name: str) -> "BLinkTree":
+        """Open an existing index after a restart.
+
+        This is the entire recovery path: read the meta page, restore the
+        clean-shutdown freelist if one exists (erasing it durably first),
+        and return.  All structural repair happens lazily on first use.
+        """
+        file = engine.open_file(name)
+        mbuf = file.pin_meta()
+        try:
+            meta = MetaView(mbuf.data, file.page_size)
+            meta.check()
+            if meta.tree_kind != cls.KIND:
+                raise TreeError(
+                    f"index {name!r} is a {meta.tree_kind} tree, "
+                    f"not {cls.KIND}"
+                )
+            codec_obj = CODECS[meta.codec_name]
+            tree = cls(engine, file, codec_obj)
+            entries = meta.load_freelist()
+            if entries:
+                # Section 3.3.3: the durable freelist must be erased before
+                # any page on it is reallocated, otherwise a crash would
+                # revalidate the old list and double-allocate.
+                meta.erase_freelist()
+                file.disk.write_page(0, bytes(mbuf.data))
+                file.freelist.load_entries(entries)
+            return tree
+        finally:
+            file.unpin(mbuf)
+
+    def close_clean(self) -> None:
+        """Persist the freelist snapshot ahead of a clean engine shutdown."""
+        mbuf = self.file.pin_meta()
+        try:
+            meta = MetaView(mbuf.data, self.page_size)
+            meta.store_freelist(self.file.freelist.entries())
+            self.file.mark_dirty(mbuf)
+        finally:
+            self.file.unpin(mbuf)
+
+    # ------------------------------------------------------------------
+    # small helpers
+    # ------------------------------------------------------------------
+
+    def _token(self) -> int:
+        return self.engine.sync_state.token()
+
+    def _last_crash_token(self) -> int:
+        return self.engine.sync_state.last_crash_token
+
+    def _pin(self, page_no: int) -> tuple[Buffer, NodeView]:
+        buf = self.file.pin(page_no)
+        return buf, NodeView(buf.data, self.page_size)
+
+    def _unpin(self, buf: Buffer) -> None:
+        self.file.unpin(buf)
+
+    def _dirty(self, buf: Buffer) -> None:
+        self.file.mark_dirty(buf)
+
+    def _alloc(self, page_type: int, level: int,
+               key_range=None) -> tuple[int, Buffer, NodeView]:
+        """Allocate and format a page, pinned and dirty."""
+        page_no = self.file.allocate(key_range)
+        buf = self.file.pin(page_no)
+        view = NodeView(buf.data, self.page_size)
+        view.init_page(page_type, level=level, sync_token=self._token(),
+                       shadow_items=self._level_uses_shadow_items(level))
+        self._dirty(buf)
+        return page_no, buf, view
+
+    def _level_uses_shadow_items(self, level: int) -> bool:
+        """Whether internal items at *level* carry prevPtrs.  Uniform for
+        the pure trees; the hybrid tree overrides per level."""
+        return self.SHADOW_ITEMS and level > 0
+
+    # ------------------------------------------------------------------
+    # meta / root management
+    # ------------------------------------------------------------------
+
+    def _read_meta(self) -> tuple[Buffer, MetaView]:
+        buf = self.file.pin_meta()
+        return buf, MetaView(buf.data, self.page_size)
+
+    @property
+    def height(self) -> int:
+        mbuf, meta = self._read_meta()
+        try:
+            return meta.height
+        finally:
+            self._unpin(mbuf)
+
+    def _root_page(self) -> int:
+        mbuf, meta = self._read_meta()
+        try:
+            return meta.root
+        finally:
+            self._unpin(mbuf)
+
+    def _set_root(self, new_root: int, old_root: int, *,
+                  old_range=None, free_old: str = "never",
+                  height: int | None = None,
+                  new_root_token: int | None = None,
+                  old_durable: bool | None = None) -> None:
+        """Update the meta root pointer with the paper's prev/current
+        shadowing and prev-reuse rule (shadow split steps 2/3 applied to
+        the root pointer).
+
+        ``free_old``:
+          * ``"never"`` — the old root remains live (normal in-place root
+            growth; reorg remap keeps the slot);
+          * ``"shadow"`` — the old root page becomes the previous root and
+            is freed after the next sync if it was durable (*old_durable*,
+            the root analogue of split step 2); a never-durable old root
+            is recycled immediately and the existing previous root is kept
+            (step 3).
+
+        ``new_root_token`` records the new root page's own sync token in
+        the meta page; lost-root detection compares the page found in the
+        root's slot against it.  It defaults to the current counter, which
+        is correct for freshly allocated roots — a root *collapse* must
+        pass the surviving child's (older) token instead.
+        """
+        mbuf, meta = self._read_meta()
+        try:
+            token = self._token()
+            if old_root == INVALID_PAGE:
+                prev = INVALID_PAGE
+            elif free_old == "shadow":
+                if not old_durable:
+                    # the old root never reached stable storage: keep the
+                    # existing previous root, recycle the page now
+                    prev = meta.prev_root
+                    self.file.free(old_root, old_range)
+                else:
+                    prev = old_root
+                    self.file.free_after_sync(old_root, old_range)
+            else:
+                prev = old_root
+            meta.set_root(new_root, prev,
+                          token if new_root_token is None
+                          else new_root_token)
+            if height is not None:
+                meta.height = height
+            self._dirty(mbuf)
+            self.engine.sync_state.note_split()
+            self._root_cache = None
+        finally:
+            self._unpin(mbuf)
+
+    def _load_root_checked(self) -> int:
+        """Return the root page number, repairing a lost root image first
+        (Section 3.3.2) if this tree verifies."""
+        if self._root_cache is not None:
+            return self._root_cache
+        mbuf, meta = self._read_meta()
+        try:
+            root = meta.root
+            if root == INVALID_PAGE or not self.VERIFIES:
+                self._root_cache = root
+                return root
+            rbuf = self.file.pin(root)
+            try:
+                rview = NodeView(rbuf.data, self.page_size)
+                if not self._root_intact(rbuf, rview, meta):
+                    self._repair_root(meta, rbuf, rview)
+                self._root_cache = root
+                return root
+            finally:
+                self._unpin(rbuf)
+        finally:
+            self._unpin(mbuf)
+
+    def _root_intact(self, rbuf: Buffer, rview: NodeView,
+                     meta: MetaView) -> bool:
+        # a zeroed page has no valid header, so the header check covers
+        # the lost-image case cheaply (no full-page scan on the hot path)
+        if not valid_magic(rbuf.data):
+            return False
+        if rview.page_type not in (PAGE_LEAF, PAGE_INTERNAL):
+            return False
+        # a recycled stale image necessarily predates the root change
+        return rview.sync_token >= meta.root_token
+
+    def _repair_root(self, meta: MetaView, rbuf: Buffer,
+                     rview: NodeView) -> None:
+        """The new root image was lost: copy the previous root's page over
+        it ("the prevChild page is copied directly to the child page"), or
+        start from an empty leaf if no root existed before the failure."""
+        prev = meta.prev_root
+        if prev != INVALID_PAGE:
+            pbuf = self.file.pin(prev)
+            try:
+                rbuf.data[:] = pbuf.data
+            finally:
+                self._unpin(pbuf)
+            rview.sync_token = self._token()
+            # the copied image may advertise the crashed window's split
+            # through newPage; restamping the token would make that stale
+            # link look current, so drop it — the restored root already
+            # holds every committed key itself
+            rview.new_page = INVALID_PAGE
+            action = Action.COPIED_PREV_ROOT
+        else:
+            rview.init_page(PAGE_LEAF, level=0, sync_token=self._token(),
+                            shadow_items=False)
+            action = Action.VERIFIED_ONLY
+        self._dirty(rbuf)
+        self.engine.sync_state.note_split()
+        self.repair_log.add(DetectionReport(
+            Kind.LOST_ROOT, rbuf.page_no, action,
+            detail=f"prev_root={prev}"))
+        self._after_root_repair(rbuf, rview)
+
+    def _after_root_repair(self, rbuf: Buffer, rview: NodeView) -> None:
+        """Hook for technique-specific cleanup of a root rebuilt from the
+        previous root (the reorg tree resolves a copied-in backup here)."""
+
+    def _create_first_root(self) -> int:
+        page_no, buf, _view = self._alloc(PAGE_LEAF, 0)
+        self._unpin(buf)
+        self._set_root(page_no, INVALID_PAGE, height=1)
+        return page_no
+
+    # ------------------------------------------------------------------
+    # descent
+    # ------------------------------------------------------------------
+
+    def _child_bounds(self, view: NodeView, slot: int,
+                      bounds: KeyBounds) -> KeyBounds:
+        lo = view.key_at(slot)
+        hi = view.key_at(slot + 1) if slot + 1 < view.n_keys else None
+        return bounds.child(lo, hi)
+
+    def _descend(self, key: bytes, *, stop_level: int = 0) -> list[PathEntry]:
+        """Descend from the root toward *key*, verifying and repairing each
+        parent→child step, until a page at *stop_level* is reached.  Every
+        page on the returned path is pinned; the caller must run
+        :meth:`_unpin_path`."""
+        root = self._load_root_checked()
+        if root == INVALID_PAGE:
+            return []
+        path: list[PathEntry] = []
+        page_no = root
+        bounds = FULL_BOUNDS
+        buf, view = self._pin(page_no)
+        try:
+            while True:
+                page_no, buf, view, bounds = self._follow_moves(
+                    page_no, buf, view, bounds, key)
+                entry = PathEntry(page_no, buf, view, bounds)
+                if view.level == stop_level:
+                    path.append(entry)
+                    return path
+                slot = view.route(key)
+                entry.slot = slot
+                child_no = view.child_at(slot)
+                child_bounds = self._child_bounds(view, slot, bounds)
+                child_buf = self.file.pin(child_no)
+                child_view = NodeView(child_buf.data, self.page_size)
+                if self.VERIFIES:
+                    self._check_child(entry, child_no, child_buf,
+                                      child_view, child_bounds)
+                path.append(entry)
+                page_no, buf, view = child_no, child_buf, child_view
+                bounds = child_bounds
+        except BaseException:
+            self._unpin(buf)
+            self._unpin_path(path)
+            raise
+
+    def _unpin_path(self, path: list[PathEntry]) -> None:
+        for entry in path:
+            self._unpin(entry.buffer)
+
+    # hooks ---------------------------------------------------------------
+
+    def _follow_moves(self, page_no: int, buf: Buffer, view: NodeView,
+                      bounds: KeyBounds, key: bytes
+                      ) -> tuple[int, Buffer, NodeView, KeyBounds]:
+        """Follow ``newPage``/peer right-moves.  Default: stay put."""
+        return page_no, buf, view, bounds
+
+    def _check_child(self, parent: PathEntry, child_no: int,
+                     child_buf: Buffer, child_view: NodeView,
+                     bounds: KeyBounds) -> None:
+        """Inter-page inconsistency detection + repair.  Default: none."""
+
+    def _before_page_update(self, path: list[PathEntry], idx: int) -> None:
+        """Pre-update hook (the reorg reclamation check).  Default: none."""
+
+    def _split_and_insert(self, path: list[PathEntry], idx: int,
+                          item: bytes, key: bytes) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def _page_can_fit(self, view: NodeView, size: int) -> bool:
+        """Insert-time fullness test; the reorg tree overrides it to keep
+        headroom for the backup record a future split will need."""
+        return view.can_fit(size)
+
+    def insert(self, value, tid: TID | tuple[int, int]) -> None:
+        """Insert ``value -> tid``.  Duplicate keys raise
+        :class:`DuplicateKeyError` (Section 2's uniqueness assumption)."""
+        if not isinstance(tid, TID):
+            tid = TID(*tid)
+        key = self.codec.encode(value)
+        if self._load_root_checked() == INVALID_PAGE:
+            self._create_first_root()
+        path = self._descend(key)
+        try:
+            leaf = path[-1]
+            self._ensure_peer_path(leaf)
+            self._before_page_update(path, len(path) - 1)
+            slot, found = leaf.view.search(key)
+            if found:
+                raise DuplicateKeyError(
+                    f"key {value!r} already present; POSTGRES would have "
+                    "made it unique with make_unique()"
+                )
+            item = I.pack_leaf_item(key, tid)
+            if self._page_can_fit(leaf.view, len(item)):
+                leaf.view.insert_item(slot, item)
+                self._dirty(leaf.buffer)
+            else:
+                self._split_and_insert(path, len(path) - 1, item, key)
+        finally:
+            self._unpin_path(path)
+
+    def lookup(self, value) -> TID | None:
+        """Find the TID stored for *value*, or None."""
+        key = self.codec.encode(value)
+        path = self._descend(key)
+        if not path:
+            return None
+        try:
+            leaf = path[-1]
+            slot, found = leaf.view.search(key)
+            if not found:
+                return None
+            return leaf.view.tid_at(slot)
+        finally:
+            self._unpin_path(path)
+
+    def delete(self, value) -> None:
+        """Remove *value* from the index; empty pages are reclaimed the
+        Lanin-Shasha way (the page is recycled once its last key goes)."""
+        key = self.codec.encode(value)
+        path = self._descend(key)
+        if not path:
+            raise KeyNotFoundError(f"key {value!r} not in index (empty tree)")
+        try:
+            leaf = path[-1]
+            self._ensure_peer_path(leaf)
+            self._before_page_update(path, len(path) - 1)
+            slot, found = leaf.view.search(key)
+            if not found:
+                raise KeyNotFoundError(f"key {value!r} not in index")
+            leaf.view.delete_item(slot)
+            self._dirty(leaf.buffer)
+            if leaf.view.n_keys == 0 and len(path) > 1:
+                self._reclaim_empty_page(path, len(path) - 1)
+        finally:
+            self._unpin_path(path)
+
+    def range_scan(self, lo=None, hi=None) -> Iterator[tuple[object, TID]]:
+        """Yield ``(value, tid)`` pairs with ``lo <= value < hi`` in key
+        order, walking the leaf peer-pointer chain (Section 3.5)."""
+        lo_key = MIN_KEY if lo is None else self.codec.encode(lo)
+        hi_key = None if hi is None else self.codec.encode(hi)
+        path = self._descend(lo_key)
+        if not path:
+            return
+        leaf = path[-1]
+        page_no = leaf.page_no
+        # release the internal pages; keep only the leaf pinned
+        for entry in path[:-1]:
+            self._unpin(entry.buffer)
+        buf, view = leaf.buffer, leaf.view
+        try:
+            slot, _found = view.search(lo_key)
+            last_key = None
+            while True:
+                while slot < view.n_keys:
+                    key = view.key_at(slot)
+                    if hi_key is not None and key >= hi_key:
+                        return
+                    if last_key is None or key > last_key:
+                        # a post-crash healed link can land on a leaf that
+                        # overlaps what a stale dual-path page already
+                        # yielded (Figure 3); resume strictly after it
+                        yield self.codec.decode(key), view.tid_at(slot)
+                        last_key = key
+                    slot += 1
+                nxt = self._next_leaf(page_no, buf, view)
+                if nxt is None:
+                    return
+                self._unpin(buf)
+                buf = None
+                page_no = nxt
+                buf = self.file.pin(page_no)
+                view = NodeView(buf.data, self.page_size)
+                slot = 0
+        finally:
+            if buf is not None:
+                self._unpin(buf)
+
+    def _next_leaf(self, page_no: int, buf: Buffer,
+                   view: NodeView) -> int | None:
+        """The next leaf in the scan.  Verifying trees compare the sync
+        tokens on the two sides of the link (Section 3.5.1) and heal a
+        broken link through the root-to-leaf path."""
+        nxt = view.right_peer
+        if nxt == INVALID_PAGE:
+            return None
+        if not self.VERIFIES:
+            return nxt
+        nbuf = self.file.pin(nxt)
+        try:
+            nview = NodeView(nbuf.data, self.page_size)
+            broken = (not valid_magic(nbuf.data)
+                      or nview.left_peer_token != view.right_peer_token)
+            if not broken:
+                return nxt
+        finally:
+            self._unpin(nbuf)
+        return self._heal_right_link(page_no, buf, view)
+
+    def _heal_right_link(self, page_no: int, buf: Buffer,
+                         view: NodeView) -> int | None:
+        """A peer link failed its token check: find the true right
+        neighbour through the root-to-leaf path and relink (3.5.1)."""
+        if view.n_keys == 0:
+            return None
+        probe = view.max_key() + b"\x00"
+        path = self._descend(probe)
+        try:
+            leaf = path[-1]
+            if leaf.page_no != page_no:
+                target = leaf.page_no
+            else:
+                # the probe still routes here; the true right neighbour is
+                # the next child along the internal path, followed down
+                # its leftmost spine to leaf level
+                target = INVALID_PAGE
+                for entry in reversed(path[:-1]):
+                    if entry.slot + 1 < entry.view.n_keys:
+                        target = entry.view.child_at(entry.slot + 1)
+                        break
+                while target != INVALID_PAGE:
+                    tbuf = self.file.pin(target)
+                    try:
+                        tview = NodeView(tbuf.data, self.page_size)
+                        if tview.is_leaf or tview.n_keys == 0:
+                            break
+                        target = tview.child_at(0)
+                    finally:
+                        self._unpin(tbuf)
+        finally:
+            self._unpin_path(path)
+        self._finish_heal(page_no, buf, view, target)
+        return target if target != INVALID_PAGE else None
+
+    def _finish_heal(self, page_no: int, buf: Buffer, view: NodeView,
+                     target: int) -> None:
+        token = self._token()
+        view.right_peer = target
+        view.right_peer_token = token
+        self._dirty(buf)
+        if target != INVALID_PAGE:
+            tbuf = self.file.pin(target)
+            try:
+                tview = NodeView(tbuf.data, self.page_size)
+                tview.left_peer = page_no
+                tview.left_peer_token = token
+                self._dirty(tbuf)
+            finally:
+                self._unpin(tbuf)
+        self.engine.sync_state.note_split()
+        self.repair_log.add(DetectionReport(
+            Kind.PEER_TOKEN_MISMATCH, page_no, Action.RELINKED_PEER,
+            detail=f"right -> {target}"))
+
+    def _ensure_peer_path(self, leaf: PathEntry) -> None:
+        """Section 3.5.1's first-insert check against Figure 3's worst
+        case: before the first post-crash modification of a leaf, verify
+        the leaf is linked into the *current* peer-pointer path.
+
+        "When inserting a key into page P, the DBMS first checks that P's
+        split token is greater than the last crash sync token.  If so, we
+        know the page is part of a consistent peer pointer path. ...
+        Otherwise, the DBMS must follow the peer pointer path in both
+        directions from the leaf page targeted for insert.  The search
+        stops when a page with a different sync token is discovered."
+
+        Every link walked is verified by its pair of link tokens; a
+        mismatched link is repaired through the root-to-leaf path, which
+        splices stale pre-split pages out of the chain before the paths
+        can diverge in content.
+        """
+        if not self.VERIFIES:
+            return
+        page_no = leaf.page_no
+        if page_no in self._peer_path_checked:
+            return
+        state = self.engine.sync_state
+        # pages (re)initialized since recovery carry tokens at or above the
+        # recovery-init value; only pre-crash pages need the walk
+        if leaf.view.sync_token >= state.last_crash_token:
+            self._peer_path_checked.add(page_no)
+            return
+        episode_token = leaf.view.sync_token
+        self._walk_and_verify(leaf.page_no, leaf.buffer, leaf.view,
+                              episode_token, left=False)
+        self._walk_and_verify(leaf.page_no, leaf.buffer, leaf.view,
+                              episode_token, left=True)
+        self._peer_path_checked.add(page_no)
+        self.repair_log.add(DetectionReport(
+            Kind.PEER_PATH_CHECK, page_no, Action.VERIFIED_ONLY,
+            detail=f"token={episode_token}"))
+
+    def _verify_episode_around(self, page_no: int) -> None:
+        """Run the Section 3.5.1 walk around a page that a repair just
+        rebuilt.  The rebuilt page's own links are fresh, but its
+        neighbourhood belongs to the crashed split episode, whose boundary
+        links may still be stale-but-matching (Figure 3); walking now
+        splices the stale path out before the region diverges."""
+        if not self.VERIFIES or page_no in self._peer_path_checked:
+            return
+        buf = self.file.pin(page_no)
+        try:
+            view = NodeView(buf.data, self.page_size)
+            self._walk_and_verify(page_no, buf, view, None, left=False)
+            self._walk_and_verify(page_no, buf, view, None, left=True)
+            self._peer_path_checked.add(page_no)
+        finally:
+            self._unpin(buf)
+
+    def _walk_and_verify(self, page_no: int, buf: Buffer, view: NodeView,
+                         episode_token: int | None, *, left: bool) -> None:
+        """Walk one direction from *page_no*, verifying (and healing) each
+        link's token pair.
+
+        The walk continues across pages of the same split episode *and*
+        across pages repaired since the crash (their links were rebuilt
+        fresh on both sides, so they can bridge the interior of a damaged
+        episode), and stops on reaching an intact page from an older
+        episode — the paper's "page with a different sync token".  With
+        ``episode_token=None`` (repair-triggered walks from a fresh page)
+        the episode binds lazily to the first pre-crash token crossed."""
+        state = self.engine.sync_state
+        owned = False  # whether buf is ours to unpin
+        seen = {page_no}
+        try:
+            while True:
+                nxt = view.left_peer if left else view.right_peer
+                our_token = (view.left_peer_token if left
+                             else view.right_peer_token)
+                if nxt == INVALID_PAGE or nxt in seen:
+                    return
+                seen.add(nxt)
+                nbuf = self.file.pin(nxt)
+                nview = NodeView(nbuf.data, self.page_size)
+                dead = not valid_magic(nbuf.data)
+                their_token = None if dead else (
+                    nview.right_peer_token if left
+                    else nview.left_peer_token)
+                if dead or their_token != our_token:
+                    self._unpin(nbuf)
+                    if left:
+                        healed = self._heal_left_link(page_no, buf, view)
+                    else:
+                        healed = self._heal_right_link(page_no, buf, view)
+                    if healed is None:
+                        return
+                    nxt = healed
+                    nbuf = self.file.pin(nxt)
+                    nview = NodeView(nbuf.data, self.page_size)
+                already_checked = nxt in self._peer_path_checked
+                tok = nview.sync_token
+                if episode_token is None and tok < state.last_crash_token:
+                    episode_token = tok  # lazy bind for repair-time walks
+                keep_going = (tok == episode_token
+                              or tok >= state.last_crash_token)
+                if not keep_going or already_checked:
+                    # do not mark a page we merely stop at: only pages we
+                    # walk *through* have both their links verified
+                    self._unpin(nbuf)
+                    return
+                self._peer_path_checked.add(nxt)
+                if owned:
+                    self._unpin(buf)
+                page_no, buf, view = nxt, nbuf, nview
+                owned = True
+        finally:
+            if owned:
+                self._unpin(buf)
+
+    def _heal_left_link(self, page_no: int, buf: Buffer,
+                        view: NodeView) -> int | None:
+        """Mirror of :meth:`_heal_right_link`: find the true left
+        neighbour through the root-to-leaf path and relink."""
+        if view.n_keys == 0:
+            return None
+        probe = view.min_key()
+        path = self._descend(probe)
+        try:
+            target = INVALID_PAGE
+            for entry in reversed(path[:-1]):
+                if entry.slot > 0:
+                    target = entry.view.child_at(entry.slot - 1)
+                    break
+            while target != INVALID_PAGE:
+                tbuf = self.file.pin(target)
+                try:
+                    tview = NodeView(tbuf.data, self.page_size)
+                    if tview.is_leaf or tview.n_keys == 0:
+                        break
+                    target = tview.child_at(tview.n_keys - 1)
+                finally:
+                    self._unpin(tbuf)
+        finally:
+            self._unpin_path(path)
+        token = self._token()
+        view.left_peer = target
+        view.left_peer_token = token
+        self._dirty(buf)
+        if target != INVALID_PAGE:
+            tbuf = self.file.pin(target)
+            try:
+                tview = NodeView(tbuf.data, self.page_size)
+                tview.right_peer = page_no
+                tview.right_peer_token = token
+                self._dirty(tbuf)
+            finally:
+                self._unpin(tbuf)
+        self.engine.sync_state.note_split()
+        self.repair_log.add(DetectionReport(
+            Kind.PEER_TOKEN_MISMATCH, page_no, Action.RELINKED_PEER,
+            detail=f"left -> {target}"))
+        return target if target != INVALID_PAGE else None
+
+    def _restamp_neighbor(self, neighbor: int, *, right_side: bool,
+                          peer: int, token: int) -> None:
+        """Point a peer-chain neighbour at a replacement page, restamping
+        the link token on the neighbour's side (Section 3.5.1)."""
+        if neighbor == INVALID_PAGE:
+            return
+        nbuf, nview = self._pin(neighbor)
+        try:
+            if right_side:
+                nview.right_peer = peer
+                nview.right_peer_token = token
+            else:
+                nview.left_peer = peer
+                nview.left_peer_token = token
+            self._dirty(nbuf)
+        finally:
+            self._unpin(nbuf)
+
+    def _vet_intra_page(self, page_no: int, buf: Buffer,
+                        view: NodeView) -> None:
+        """Detect-on-first-use for intra-page damage: pages last written
+        before the most recent crash are scanned once for duplicate
+        line-table offsets (Section 3.3.1)."""
+        if page_no in self._vetted:
+            return
+        self._vetted.add(page_no)
+        if not self.engine.sync_state.predates_last_crash(view.sync_token):
+            return
+        if view.find_intra_page_inconsistency() is not None:
+            view.repair_intra_page()
+            self._dirty(buf)
+            self.repair_log.add(DetectionReport(
+                Kind.INTRA_PAGE, page_no, Action.DELETED_DUPLICATE))
+
+    def items(self) -> list[tuple[object, TID]]:
+        """Everything in the index, in key order."""
+        return list(self.range_scan())
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.range_scan())
+
+    def __contains__(self, value) -> bool:
+        return self.lookup(value) is not None
+
+    # ------------------------------------------------------------------
+    # empty-page reclamation (the merge mechanism)
+    # ------------------------------------------------------------------
+
+    def _reclaim_empty_page(self, path: list[PathEntry], idx: int) -> None:
+        """Unlink the (now empty) page at ``path[idx]`` from its parent and
+        the peer chain, then free it.  Recurses upward if the parent
+        empties; collapses the root when it is left with one child."""
+        entry = path[idx]
+        parent = path[idx - 1]
+        self._before_page_update(path, idx - 1)
+        pview = parent.view
+        slot = parent.slot
+        bounds = entry.bounds
+        self._unlink_peers(entry)
+        if slot == 0 and pview.n_keys > 1:
+            # keep entry 0's sentinel/low separator: absorb entry 1's child
+            # into slot 0, then drop entry 1 — every intermediate image
+            # routes all keys somewhere
+            pview.set_child_at(0, pview.child_at(1))
+            self._absorb_slot_zero_aux(pview)
+            pview.delete_item(1)
+        else:
+            pview.delete_item(slot)
+        self._dirty(parent.buffer)
+        self.engine.sync_state.note_split()
+        durable = self.engine.sync_state.synced_since_init(entry.view.sync_token)
+        key_range = bounds.as_range()
+        if durable:
+            self.file.free_after_sync(entry.page_no, key_range)
+        else:
+            self.file.free(entry.page_no, key_range)
+        if pview.n_keys == 0 and idx - 1 > 0:
+            self._reclaim_empty_page(path, idx - 1)
+        elif idx - 1 == 0 and pview.n_keys == 1 and pview.level > 0:
+            self._collapse_root(parent)
+
+    def _absorb_slot_zero_aux(self, pview: NodeView) -> None:
+        """Shadow trees also move entry 1's prevPtr into slot 0; default
+        trees have nothing extra to move."""
+        if pview.shadow_items:
+            pview.set_prev_at(0, pview.prev_at(1))
+
+    def _unlink_peers(self, entry: PathEntry) -> None:
+        """Splice the page out of the peer chain, restamping link tokens."""
+        token = self._token()
+        left, right = entry.view.left_peer, entry.view.right_peer
+        if left != INVALID_PAGE:
+            lbuf, lview = self._pin(left)
+            try:
+                lview.right_peer = right
+                lview.right_peer_token = token
+                self._dirty(lbuf)
+            finally:
+                self._unpin(lbuf)
+        if right != INVALID_PAGE:
+            rbuf, rview = self._pin(right)
+            try:
+                rview.left_peer = left
+                rview.left_peer_token = token
+                self._dirty(rbuf)
+            finally:
+                self._unpin(rbuf)
+
+    def _collapse_root(self, root_entry: PathEntry) -> None:
+        """The root has a single child left: make that child the root.
+
+        The child keeps its own (possibly old) sync token, so that token —
+        not the current counter — goes into the meta page as the value
+        lost-root detection compares against.
+        """
+        child = root_entry.view.child_at(0)
+        cbuf = self.file.pin(child)
+        try:
+            child_token = NodeView(cbuf.data, self.page_size).sync_token
+        finally:
+            self._unpin(cbuf)
+        free_mode = "shadow" if self.VERIFIES else "never"
+        old_durable = self.engine.sync_state.synced_since_init(
+            root_entry.view.sync_token)
+        self._set_root(child, root_entry.page_no,
+                       old_range=root_entry.bounds.as_range(),
+                       free_old=free_mode,
+                       height=max(self.height - 1, 1),
+                       new_root_token=child_token,
+                       old_durable=old_durable)
+        if free_mode == "never":
+            self.file.free(root_entry.page_no)
+
+    # ------------------------------------------------------------------
+    # validation (tests)
+    # ------------------------------------------------------------------
+
+    def check(self, *, strict_tokens: bool = True,
+              require_peer_chain: bool = True) -> list[tuple[bytes, TID]]:
+        """Validate the whole tree; returns ``(key, tid)`` pairs in order.
+
+        Checks: header sanity, sorted keys, separator containment,
+        uniform leaf depth, peer-chain agreement with the in-order leaf
+        sequence, and (optionally) matching sync tokens across peer links.
+
+        ``require_peer_chain=False`` relaxes the chain==leaves equality:
+        after a crash, a stale-but-internally-consistent dual path
+        (Figure 3) may legally survive in regions no update has touched —
+        it holds the same committed keys and is spliced out by the first
+        insert or delete nearby (Section 3.5.1).
+        """
+        root = self._root_page()
+        if root == INVALID_PAGE:
+            return []
+        leaves: list[int] = []
+        pairs: list[tuple[bytes, TID]] = []
+        root_buf, root_view = self._pin(root)
+        try:
+            depth = root_view.level
+            self._check_subtree(root, root_view, FULL_BOUNDS, depth,
+                                leaves, pairs)
+        finally:
+            self._unpin(root_buf)
+        if require_peer_chain:
+            self._check_peer_chain(leaves, strict_tokens=strict_tokens)
+        keys = [k for k, _ in pairs]
+        if keys != sorted(keys):
+            raise TreeError("keys not globally sorted")
+        if len(set(keys)) != len(keys):
+            raise TreeError("duplicate keys present")
+        return pairs
+
+    def _check_subtree(self, page_no: int, view: NodeView,
+                       bounds: KeyBounds, level: int,
+                       leaves: list[int],
+                       pairs: list[tuple[bytes, TID]]) -> None:
+        if view.level != level:
+            raise TreeError(
+                f"page {page_no}: level {view.level}, expected {level}")
+        prev_key = None
+        n = view.n_keys
+        for i in range(n):
+            key = view.key_at(i)
+            if prev_key is not None and key <= prev_key:
+                raise TreeError(f"page {page_no}: keys out of order at {i}")
+            prev_key = key
+            if not view.is_leaf and i == 0:
+                # entry 0 carries the low separator; containment is implied
+                if key != MIN_KEY and key < bounds.lo:
+                    raise TreeError(
+                        f"page {page_no}: entry-0 separator below bounds")
+                continue
+            if not bounds.contains(key):
+                raise TreeError(
+                    f"page {page_no}: key {key.hex()} outside "
+                    f"[{bounds.lo.hex()}, "
+                    f"{'inf' if bounds.hi is None else bounds.hi.hex()})"
+                )
+        if view.is_leaf:
+            leaves.append(page_no)
+            for i in range(n):
+                pairs.append((view.key_at(i), view.tid_at(i)))
+            return
+        for i in range(n):
+            child_no = view.child_at(i)
+            child_bounds = self._child_bounds(view, i, bounds)
+            cbuf, cview = self._pin(child_no)
+            try:
+                self._check_subtree(child_no, cview, child_bounds,
+                                    level - 1, leaves, pairs)
+            finally:
+                self._unpin(cbuf)
+
+    def _check_peer_chain(self, leaves: list[int], *,
+                          strict_tokens: bool) -> None:
+        if not leaves:
+            return
+        # forward walk must visit exactly the in-order leaves
+        chain = []
+        page_no = leaves[0]
+        seen = set()
+        while page_no != INVALID_PAGE:
+            if page_no in seen:
+                raise TreeError(f"peer chain cycles at page {page_no}")
+            seen.add(page_no)
+            chain.append(page_no)
+            buf, view = self._pin(page_no)
+            try:
+                nxt = view.right_peer
+                if strict_tokens and nxt != INVALID_PAGE:
+                    nbuf, nview = self._pin(nxt)
+                    try:
+                        if nview.left_peer_token != view.right_peer_token:
+                            raise TreeError(
+                                f"peer tokens disagree on link "
+                                f"{page_no}->{nxt}")
+                        if nview.left_peer != page_no:
+                            raise TreeError(
+                                f"peer chain asymmetric: {page_no}->{nxt} "
+                                f"but {nxt}<-{nview.left_peer}")
+                    finally:
+                        self._unpin(nbuf)
+            finally:
+                self._unpin(buf)
+            page_no = nxt
+        if chain != leaves:
+            raise TreeError(
+                f"peer chain {chain} disagrees with in-order leaves {leaves}")
+
+    # ------------------------------------------------------------------
+    # debugging
+    # ------------------------------------------------------------------
+
+    def dump(self) -> str:  # pragma: no cover - debug aid
+        """Multi-line structural dump of the whole tree."""
+        root = self._root_page()
+        if root == INVALID_PAGE:
+            return "<empty tree>"
+        lines: list[str] = []
+        stack = [(root, 0)]
+        while stack:
+            page_no, indent = stack.pop()
+            buf, view = self._pin(page_no)
+            try:
+                pad = "  " * indent
+                lines.append(f"{pad}page {page_no}:")
+                for text in view.describe().splitlines():
+                    lines.append(f"{pad}  {text}")
+                if not view.is_leaf:
+                    for i in reversed(range(view.n_keys)):
+                        stack.append((view.child_at(i), indent + 1))
+            finally:
+                self._unpin(buf)
+        return "\n".join(lines)

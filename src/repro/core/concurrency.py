@@ -1,0 +1,278 @@
+"""Concurrency control (paper Section 3.6).
+
+The paper adapts Lehman-Yao to the recoverable trees:
+
+* readers and writers descend root-to-leaf **without lock coupling**
+  (release one latch before acquiring the next); writers couple latches
+  only while ascending;
+* a new **split lock** per tree: split locks conflict only with split
+  locks.  A writer that must split releases its write latch, acquires the
+  split lock, reacquires the write latch, splits, releases the write
+  latch, fixes the neighbours' peer pointers, and finally drops the split
+  lock.  Because a process holds at most one (split, write) pair and
+  always acquires them in that order, the protocol is deadlock-free;
+* a reader **pins** a child's buffer before releasing the parent's latch;
+  the allocator refuses to recycle pinned pages — implemented in
+  :meth:`repro.storage.pagefile.PageFile._foreign_pins`;
+* suspected link inconsistencies are re-traversed once before being
+  declared genuine: a concurrent splitter always restores consistency
+  before releasing its locks, so a repeatable inconsistency is real.
+
+Two layers live here:
+
+:class:`LatchManager` / :class:`SplitLock`
+    the primitives, with instrumentation that asserts the protocol
+    invariants (ordering, single-pair, conflict matrix) so tests can
+    exercise the *protocol* deterministically;
+
+:class:`ConcurrentTree`
+    a thread-safe wrapper over any tree that drives the primitives for
+    whole operations.  CPython's GIL means wrapping cannot demonstrate
+    parallel speedups, but it does exercise real multi-threaded
+    interleavings of reads against writers for the correctness tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+from ..errors import ReproError
+
+
+class LatchProtocolError(ReproError):
+    """A latch-ordering or conflict-matrix invariant was violated."""
+
+
+class LatchManager:
+    """Per-page read/write latches with protocol assertions.
+
+    Latches are short-term (operation-scoped), unlike transaction locks.
+    Readers share; writers are exclusive.  The manager tracks, per
+    thread, the latches held, and asserts the Lehman-Yao discipline:
+
+    * descending code may hold at most one latch at a time
+      ("locks are not coupled; readers always release one lock before
+      acquiring the next");
+    * ascending writers may couple exactly two (child + parent).
+    """
+
+    def __init__(self):
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._readers: dict[int, int] = defaultdict(int)
+        self._writer: dict[int, int | None] = {}
+        self._held: dict[int, list[tuple[int, str]]] = defaultdict(list)
+        self.stats_waits = 0
+
+    def _me(self) -> int:
+        return threading.get_ident()
+
+    def acquire_read(self, page_no: int, *, max_held: int = 1) -> None:
+        me = self._me()
+        with self._cond:
+            self._assert_capacity(me, max_held)
+            while self._writer.get(page_no) not in (None, me):
+                self.stats_waits += 1
+                self._cond.wait()
+            self._readers[page_no] += 1
+            self._held[me].append((page_no, "r"))
+
+    def acquire_write(self, page_no: int, *, max_held: int = 2) -> None:
+        me = self._me()
+        with self._cond:
+            self._assert_capacity(me, max_held)
+            while (self._writer.get(page_no) not in (None, me)
+                   or self._reader_conflict(page_no, me)):
+                self.stats_waits += 1
+                self._cond.wait()
+            self._writer[page_no] = me
+            self._held[me].append((page_no, "w"))
+
+    def _reader_conflict(self, page_no: int, me: int) -> bool:
+        own = sum(1 for p, m in self._held[me] if p == page_no and m == "r")
+        return self._readers.get(page_no, 0) > own
+
+    def release(self, page_no: int) -> None:
+        me = self._me()
+        with self._cond:
+            held = self._held[me]
+            for i in range(len(held) - 1, -1, -1):
+                if held[i][0] == page_no:
+                    mode = held[i][1]
+                    del held[i]
+                    break
+            else:
+                raise LatchProtocolError(
+                    f"thread releases page {page_no} it does not hold")
+            if mode == "r":
+                self._readers[page_no] -= 1
+                if not self._readers[page_no]:
+                    del self._readers[page_no]
+            else:
+                if not any(p == page_no and m == "w" for p, m in held):
+                    self._writer[page_no] = None
+            self._cond.notify_all()
+
+    def release_all(self) -> None:
+        for page_no, _mode in list(self._held[self._me()]):
+            self.release(page_no)
+
+    def held_by_me(self) -> list[tuple[int, str]]:
+        return list(self._held[self._me()])
+
+    def _assert_capacity(self, me: int, max_held: int) -> None:
+        if len(self._held[me]) >= max_held:
+            raise LatchProtocolError(
+                f"thread already holds {len(self._held[me])} latches; "
+                f"Lehman-Yao permits at most {max_held} here"
+            )
+
+
+class SplitLock:
+    """The paper's split lock: conflicts only with other split locks.
+
+    "Deadlocks are impossible since processes acquire the split lock
+    before the write lock, and acquire only one such pair in the B-tree
+    at a time."
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+        self.stats_acquisitions = 0
+
+    def acquire(self, latches: LatchManager | None = None) -> None:
+        me = threading.get_ident()
+        if self._owner == me:
+            raise LatchProtocolError("split lock is not reentrant")
+        if latches is not None and any(
+                m == "w" for _p, m in latches.held_by_me()):
+            raise LatchProtocolError(
+                "split lock must be acquired before the write latch; "
+                "release the write latch first (Section 3.6)"
+            )
+        self._lock.acquire()
+        self._owner = me
+        self.stats_acquisitions += 1
+
+    def release(self) -> None:
+        if self._owner != threading.get_ident():
+            raise LatchProtocolError("split lock released by non-owner")
+        self._owner = None
+        self._lock.release()
+
+    def held(self) -> bool:
+        return self._owner is not None
+
+    def __enter__(self):
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc):
+        self.release()
+        return False
+
+
+class ConcurrentTree:
+    """Thread-safe facade over a tree.
+
+    Readers proceed under a shared tree latch; writers take the split
+    lock + exclusive latch pair in the paper's order.  The wrapper keeps
+    the tree's own single-threaded code unchanged — the granularity is
+    coarser than the paper's page latching, but the lock *ordering* and
+    conflict rules are the paper's, so protocol tests exercise the real
+    discipline.
+    """
+
+    def __init__(self, tree):
+        self.tree = tree
+        self.latches = LatchManager()
+        self.split_lock = SplitLock()
+        self._rw = _ReadWriteLock()
+
+    # -- reads -------------------------------------------------------------
+
+    def lookup(self, value):
+        with self._rw.read():
+            return self.tree.lookup(value)
+
+    def range_scan(self, lo=None, hi=None):
+        with self._rw.read():
+            return list(self.tree.range_scan(lo, hi))
+
+    def __contains__(self, value):
+        return self.lookup(value) is not None
+
+    # -- writes -------------------------------------------------------------
+
+    def insert(self, value, tid) -> None:
+        self.split_lock.acquire(self.latches)
+        try:
+            with self._rw.write():
+                self.tree.insert(value, tid)
+        finally:
+            self.split_lock.release()
+
+    def delete(self, value) -> None:
+        self.split_lock.acquire(self.latches)
+        try:
+            with self._rw.write():
+                self.tree.delete(value)
+        finally:
+            self.split_lock.release()
+
+
+class _ReadWriteLock:
+    """Simple writer-preference read/write lock."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    class _Guard:
+        def __init__(self, enter, leave):
+            self._enter, self._leave = enter, leave
+
+        def __enter__(self):
+            self._enter()
+            return self
+
+        def __exit__(self, *exc):
+            self._leave()
+            return False
+
+    def read(self):
+        return self._Guard(self._acquire_read, self._release_read)
+
+    def write(self):
+        return self._Guard(self._acquire_write, self._release_write)
+
+    def _acquire_read(self):
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def _release_read(self):
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def _acquire_write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def _release_write(self):
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()

@@ -1,0 +1,97 @@
+"""Inconsistency taxonomy and detection reports.
+
+Every inconsistency the recoverable trees detect and repair is recorded as
+a :class:`DetectionReport` on the tree's ``repair_log``, so tests and the
+recovery benchmark can assert not just *that* the tree healed but *what* it
+healed (which of the paper's failure cases actually occurred).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Kind(enum.Enum):
+    """What was detected (paper sections in parentheses)."""
+
+    #: child slot zeroed on stable storage — allocated but never written (3.3.1)
+    ZEROED_CHILD = "zeroed-child"
+    #: child key range disagrees with the parent's expectation (3.3.1)
+    RANGE_MISMATCH = "range-mismatch"
+    #: child contains keys beyond its expected range — it is the pre-split
+    #: page and the split must be redone (3.4 cases d/e)
+    WIDE_CHILD = "wide-child"
+    #: reorg page still holding backup keys from before the last crash (3.4
+    #: reclamation case 3)
+    STALE_BACKUP = "stale-backup"
+    #: reorg sibling lost; regenerated from backup keys (3.4 case c)
+    LOST_SIBLING = "lost-sibling"
+    #: split undone by restoring the original page (3.4 cases a/b)
+    RESTORED_ORIGINAL = "restored-original"
+    #: two adjacent line-table entries share an offset (3.3.1)
+    INTRA_PAGE = "intra-page"
+    #: the root page image was lost; previous root reinstated (3.3.2)
+    LOST_ROOT = "lost-root"
+    #: peer-pointer sync tokens disagree across a link (3.5.1)
+    PEER_TOKEN_MISMATCH = "peer-token-mismatch"
+    #: a leaf predating the last crash was re-verified against the peer
+    #: path before its first post-crash insert (3.5.1)
+    PEER_PATH_CHECK = "peer-path-check"
+
+
+class Action(enum.Enum):
+    """How consistency was restored."""
+
+    REBUILT_FROM_PREV = "rebuilt-from-prev"        # shadow prevPtr copy
+    REBUILT_FROM_BACKUP = "rebuilt-from-backup"    # reorg backup copy
+    RESTORED_BACKUP = "restored-backup"            # reorg nKeys := prevNKeys
+    REDID_SPLIT = "redid-split"                    # reorg case d/e
+    RECLAIMED_BACKUP = "reclaimed-backup"          # backup no longer needed
+    DELETED_DUPLICATE = "deleted-duplicate"        # intra-page repair
+    COPIED_PREV_ROOT = "copied-prev-root"          # root repair
+    RELINKED_PEER = "relinked-peer"                # peer repair via descent
+    VERIFIED_ONLY = "verified-only"                # detection found no damage
+
+
+@dataclass
+class DetectionReport:
+    """One detected inconsistency and the repair applied."""
+
+    kind: Kind
+    page_no: int
+    action: Action
+    parent_page: int | None = None
+    slot: int | None = None
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        where = f"page {self.page_no}"
+        if self.parent_page is not None:
+            where += f" (parent {self.parent_page}, slot {self.slot})"
+        text = f"{self.kind.value} at {where}: {self.action.value}"
+        if self.detail:
+            text += f" [{self.detail}]"
+        return text
+
+
+@dataclass
+class RepairLog:
+    """Append-only log of repairs performed by one tree instance."""
+
+    reports: list[DetectionReport] = field(default_factory=list)
+
+    def add(self, report: DetectionReport) -> None:
+        self.reports.append(report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def count(self, kind: Kind) -> int:
+        return sum(1 for r in self.reports if r.kind is kind)
+
+    def clear(self) -> None:
+        self.reports.clear()

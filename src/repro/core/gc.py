@@ -1,0 +1,118 @@
+"""Freelist regeneration — the garbage-collection hook of Section 3.3.3.
+
+"Because the freelist is in volatile storage, it does not survive system
+failures and must eventually be regenerated after a failure.  POSTGRES
+heap relations require a garbage collector as part of the storage
+system's archiving feature; adding index freelist regeneration to its
+current archiving tasks does not make garbage collection much more
+expensive."
+
+The collector here is that hook: after a sync (so that every reachable
+page is durable and no shadow/backup copy is still needed for recovery),
+walk the index from its meta page and return every allocated-but-
+unreachable page to the freelist.  That reclaims the pages the recovery
+algorithms deliberately leak — abandoned split halves, orphaned dual-path
+pages, pre-split shadows whose deferred free died with the crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..constants import INVALID_PAGE
+from ..storage import is_zeroed, try_read_header
+from .btree_base import BLinkTree
+from .meta import MetaView
+from .nodeview import NodeView
+
+
+@dataclass
+class GCReport:
+    """What one collection pass found."""
+
+    reachable: set[int] = field(default_factory=set)
+    freed: list[int] = field(default_factory=list)
+    already_free: int = 0
+    scanned: int = 0
+
+    @property
+    def leaked(self) -> int:
+        """Pages that had leaked (recovered by this pass)."""
+        return len(self.freed)
+
+
+def collect_garbage(tree: BLinkTree, *, sync_first: bool = True) -> GCReport:
+    """Regenerate *tree*'s freelist by reachability walk.
+
+    ``sync_first`` (default) runs an engine sync before collecting, which
+    is what makes freeing safe: once every reachable page is durable, no
+    unreachable page can still be a recovery source (prevPtr targets and
+    reorg backups are only consulted when a child's image is missing, and
+    after a successful sync none is).
+    """
+    if sync_first:
+        tree.engine.sync()
+    report = GCReport()
+    file = tree.file
+    reachable = report.reachable
+    reachable.add(0)
+
+    mbuf = file.pin_meta()
+    try:
+        meta = MetaView(mbuf.data, tree.page_size)
+        root = meta.root
+    finally:
+        file.unpin(mbuf)
+
+    stack = [root] if root != INVALID_PAGE else []
+    while stack:
+        page_no = stack.pop()
+        if page_no in reachable or page_no == INVALID_PAGE:
+            continue
+        reachable.add(page_no)
+        buf = file.pin(page_no)
+        try:
+            if is_zeroed(buf.data) or try_read_header(buf.data) is None:
+                continue
+            view = NodeView(buf.data, tree.page_size)
+            if not view.is_leaf:
+                for i in range(view.n_keys):
+                    stack.append(view.child_at(i))
+        finally:
+            file.unpin(buf)
+
+    already_free = {entry.page_no for entry in file.freelist.entries()}
+    report.already_free = len(already_free)
+    for page_no in range(1, file.n_pages):
+        report.scanned += 1
+        if page_no in reachable or page_no in already_free:
+            continue
+        key_range = _page_key_span(file, page_no, tree.page_size)
+        file.free(page_no, key_range)
+        report.freed.append(page_no)
+    return report
+
+
+def _page_key_span(file, page_no: int, page_size: int):
+    """Best-effort key range of a garbage page, recorded on the freelist
+    entry so the shadow allocator's reuse rule stays conservative."""
+    buf = file.pin(page_no)
+    try:
+        if is_zeroed(buf.data) or try_read_header(buf.data) is None:
+            return None
+        view = NodeView(buf.data, page_size)
+        total = view.n_keys + view.backup_count
+        if total == 0:
+            return None
+        keys = []
+        if view.n_keys:
+            keys.extend((view.min_key(), view.max_key()))
+        if view.backup_count:
+            from . import items as I
+            backups = view.backup_items()
+            keys.append(I.item_key(backups[0], 0))
+            keys.append(I.item_key(backups[-1], 0))
+        lo, hi = min(keys), max(keys)
+        return (lo, hi + b"\x00")
+    finally:
+        file.unpin(buf)

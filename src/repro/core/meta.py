@@ -1,0 +1,157 @@
+"""The index meta-data page (page 0 of every index file).
+
+Section 3.3: "The first page of the index is a meta-data page containing a
+pointer to the current root of the tree.  Like internal page keys, the root
+pointer must contain a previous and current page pointer."
+
+The meta page therefore stores:
+
+* ``root`` / ``prev_root`` — current and shadow root page numbers;
+* ``root_token`` — the sync token at the moment the root pointer last
+  changed.  It plays two roles: the prevPtr-reuse rule of shadow split
+  steps (2)/(3) applied to the root pointer, and lost-root detection (a
+  durable stale page recycled into the root's slot necessarily carries an
+  older token, so ``page.sync_token < meta.root_token`` ⇒ the new root
+  image never reached stable storage);
+* tree kind, key-codec name and a height hint (informational);
+* the clean-shutdown freelist snapshot (Section 3.3.3), which the opener
+  must erase durably *before* reallocating any page on it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..constants import PAGE_CONTROL
+from ..errors import PageCorruptError, PageError
+from ..storage import page as P
+from ..storage.freelist import FreeEntry
+
+_META_STRUCT = struct.Struct("<BBHIIQH")  # kind, rsv, height, root, prev, token, codec_len
+_META_OFF = P.HEADER_SIZE
+_CODEC_OFF = _META_OFF + _META_STRUCT.size
+_FREELIST_OFF = _CODEC_OFF + 32  # codec name capped at 32 bytes
+_COUNT = struct.Struct("<H")
+_ENTRY_HEAD = struct.Struct("<IH")
+
+TREE_KINDS = {"none": 0, "normal": 1, "shadow": 2, "reorg": 3, "hybrid": 4}
+TREE_KIND_NAMES = {v: k for k, v in TREE_KINDS.items()}
+
+
+class MetaView:
+    """View over an index file's page-0 buffer."""
+
+    def __init__(self, buf: bytearray, page_size: int | None = None):
+        self.buf = buf
+        self.page_size = page_size if page_size is not None else len(buf)
+
+    # -- formatting -------------------------------------------------------
+
+    def init_meta(self, tree_kind: str, codec_name: str) -> None:
+        fresh = P.new_page(self.page_size, PAGE_CONTROL)
+        self.buf[:] = fresh
+        codec_bytes = codec_name.encode("ascii")
+        if len(codec_bytes) > 31:
+            raise PageError("codec name too long for the meta page")
+        _META_STRUCT.pack_into(self.buf, _META_OFF, TREE_KINDS[tree_kind],
+                               0, 0, 0, 0, 0, len(codec_bytes))
+        self.buf[_CODEC_OFF: _CODEC_OFF + len(codec_bytes)] = codec_bytes
+
+    def check(self) -> None:
+        header = P.read_header(self.buf)
+        if header.page_type != PAGE_CONTROL:
+            raise PageCorruptError(
+                f"page 0 is not a meta page (type={header.page_type})"
+            )
+
+    # -- fields ---------------------------------------------------------------
+
+    def _fields(self):
+        return _META_STRUCT.unpack_from(self.buf, _META_OFF)
+
+    def _store(self, kind, height, root, prev_root, token, codec_len):
+        _META_STRUCT.pack_into(self.buf, _META_OFF, kind, 0, height,
+                               root, prev_root, token, codec_len)
+
+    @property
+    def tree_kind(self) -> str:
+        return TREE_KIND_NAMES[self._fields()[0]]
+
+    @property
+    def codec_name(self) -> str:
+        length = self._fields()[6]
+        return bytes(self.buf[_CODEC_OFF: _CODEC_OFF + length]).decode("ascii")
+
+    @property
+    def height(self) -> int:
+        return self._fields()[2]
+
+    @height.setter
+    def height(self, value: int) -> None:
+        kind, _, __, root, prev, token, clen = self._fields()
+        self._store(kind, value, root, prev, token, clen)
+
+    @property
+    def root(self) -> int:
+        return self._fields()[3]
+
+    @property
+    def prev_root(self) -> int:
+        return self._fields()[4]
+
+    @property
+    def root_token(self) -> int:
+        return self._fields()[5]
+
+    def set_root(self, root: int, prev_root: int, token: int) -> None:
+        kind, _, height, __, ___, ____, clen = self._fields()
+        self._store(kind, height, root, prev_root, token, clen)
+
+    # -- clean-shutdown freelist snapshot (Section 3.3.3) ------------------
+
+    def store_freelist(self, entries: list[FreeEntry]) -> int:
+        """Serialize as many entries as fit; returns how many were kept."""
+        offset = _FREELIST_OFF + _COUNT.size
+        stored = 0
+        for entry in entries:
+            lo, hi = entry.key_range if entry.key_range else (b"", None)
+            hi_blob = b"" if hi is None else hi
+            hi_len = 0xFFFF if hi is None else len(hi_blob)
+            need = _ENTRY_HEAD.size + len(lo) + 2 + len(hi_blob)
+            if offset + need > self.page_size:
+                break
+            _ENTRY_HEAD.pack_into(self.buf, offset, entry.page_no, len(lo))
+            offset += _ENTRY_HEAD.size
+            self.buf[offset: offset + len(lo)] = lo
+            offset += len(lo)
+            struct.pack_into("<H", self.buf, offset, hi_len)
+            offset += 2
+            self.buf[offset: offset + len(hi_blob)] = hi_blob
+            offset += len(hi_blob)
+            stored += 1
+        _COUNT.pack_into(self.buf, _FREELIST_OFF, stored)
+        return stored
+
+    def load_freelist(self) -> list[FreeEntry]:
+        (count,) = _COUNT.unpack_from(self.buf, _FREELIST_OFF)
+        offset = _FREELIST_OFF + _COUNT.size
+        entries = []
+        for _ in range(count):
+            page_no, lo_len = _ENTRY_HEAD.unpack_from(self.buf, offset)
+            offset += _ENTRY_HEAD.size
+            lo = bytes(self.buf[offset: offset + lo_len])
+            offset += lo_len
+            (hi_len,) = struct.unpack_from("<H", self.buf, offset)
+            offset += 2
+            if hi_len == 0xFFFF:
+                hi = None
+            else:
+                hi = bytes(self.buf[offset: offset + hi_len])
+                offset += hi_len
+            entries.append(FreeEntry(page_no, (lo, hi)))
+        return entries
+
+    def erase_freelist(self) -> None:
+        """Zero the stored snapshot (must reach stable storage before any
+        listed page is reallocated — the caller forces the write)."""
+        _COUNT.pack_into(self.buf, _FREELIST_OFF, 0)

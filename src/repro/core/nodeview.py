@@ -1,0 +1,604 @@
+"""Typed access to one B-tree page buffer.
+
+A :class:`NodeView` wraps the raw ``bytearray`` of a pinned buffer and
+exposes the page as a sorted array of items behind a line table.  All
+mutations write straight through to the underlying bytes, so a snapshot of
+the buffer at *any* point between method calls is a plausible crash image —
+which is exactly what the simulated sync captures.
+
+Two operations implement byte-write orderings the paper specifies:
+
+* :meth:`insert_item` follows Section 3.3's crash-safe line-table insert
+  (copy the last entry one beyond, bump ``nKeys``, shift, then store the
+  new entry) so that any intermediate image contains a *detectable*
+  intra-page inconsistency: two adjacent line-table entries with the same
+  offset.
+* :meth:`delete_item` / :meth:`repair_intra_page` use Section 3.3.2's
+  delete ordering (copy entries left until the duplicate is last, then
+  decrement ``nKeys``).
+
+The reorg-tree **backup region** (Section 3.4) also lives here: backup
+line-table entries sit just beyond the live entries, followed by a small
+backup record holding the pre-split peer pointers needed to restore the
+original page exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator
+
+from ..constants import (
+    FLAG_LIVE_IS_LOW,
+    FLAG_SHADOW_ITEMS,
+    PAGE_INTERNAL,
+    PAGE_LEAF,
+)
+from ..errors import PageCorruptError, PageError, PageFullError
+from ..storage import page as P
+from . import items as I
+from .keys import TID
+
+#: Pre-split peer pointers stashed with the backup keys (reorg split): the
+#: original page's left/right peers and their link tokens.
+_BACKUP_RECORD = struct.Struct("<IQIQ")
+BACKUP_RECORD_SIZE = _BACKUP_RECORD.size  # 24
+
+StepHook = Callable[[str], None]
+
+
+class NodeView:
+    """A view over one page buffer.
+
+    Parameters
+    ----------
+    buf:
+        The page's ``bytearray`` (typically ``buffer.data``).
+    page_size:
+        Page size in bytes; needed because the buffer itself carries no
+        length metadata beyond ``len``.
+    """
+
+    __slots__ = ("buf", "page_size")
+
+    def __init__(self, buf: bytearray, page_size: int | None = None):
+        self.buf = buf
+        self.page_size = page_size if page_size is not None else len(buf)
+
+    # ------------------------------------------------------------------
+    # header fields (live reads/writes against the bytes)
+    # ------------------------------------------------------------------
+
+    @property
+    def page_type(self) -> int:
+        return P.get_u8(self.buf, P.OFF_PAGE_TYPE)
+
+    @property
+    def level(self) -> int:
+        return P.get_u16(self.buf, P.OFF_LEVEL)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.page_type == PAGE_LEAF
+
+    @property
+    def shadow_items(self) -> bool:
+        return bool(self.flags & FLAG_SHADOW_ITEMS)
+
+    @property
+    def flags(self) -> int:
+        return P.get_u8(self.buf, P.OFF_FLAGS)
+
+    @flags.setter
+    def flags(self, value: int) -> None:
+        P.set_u8(self.buf, P.OFF_FLAGS, value)
+
+    @property
+    def n_keys(self) -> int:
+        return P.get_u16(self.buf, P.OFF_N_KEYS)
+
+    @n_keys.setter
+    def n_keys(self, value: int) -> None:
+        P.set_u16(self.buf, P.OFF_N_KEYS, value)
+
+    @property
+    def prev_n_keys(self) -> int:
+        return P.get_u16(self.buf, P.OFF_PREV_N_KEYS)
+
+    @prev_n_keys.setter
+    def prev_n_keys(self, value: int) -> None:
+        P.set_u16(self.buf, P.OFF_PREV_N_KEYS, value)
+
+    @property
+    def backup_count(self) -> int:
+        return P.get_u16(self.buf, P.OFF_BACKUP_COUNT)
+
+    @backup_count.setter
+    def backup_count(self, value: int) -> None:
+        P.set_u16(self.buf, P.OFF_BACKUP_COUNT, value)
+
+    @property
+    def new_page(self) -> int:
+        return P.get_u32(self.buf, P.OFF_NEW_PAGE)
+
+    @new_page.setter
+    def new_page(self, value: int) -> None:
+        P.set_u32(self.buf, P.OFF_NEW_PAGE, value)
+
+    @property
+    def left_peer(self) -> int:
+        return P.get_u32(self.buf, P.OFF_LEFT_PEER)
+
+    @left_peer.setter
+    def left_peer(self, value: int) -> None:
+        P.set_u32(self.buf, P.OFF_LEFT_PEER, value)
+
+    @property
+    def right_peer(self) -> int:
+        return P.get_u32(self.buf, P.OFF_RIGHT_PEER)
+
+    @right_peer.setter
+    def right_peer(self, value: int) -> None:
+        P.set_u32(self.buf, P.OFF_RIGHT_PEER, value)
+
+    @property
+    def sync_token(self) -> int:
+        return P.get_u64(self.buf, P.OFF_SYNC_TOKEN)
+
+    @sync_token.setter
+    def sync_token(self, value: int) -> None:
+        P.set_u64(self.buf, P.OFF_SYNC_TOKEN, value)
+
+    @property
+    def left_peer_token(self) -> int:
+        return P.get_u64(self.buf, P.OFF_LEFT_PEER_TOKEN)
+
+    @left_peer_token.setter
+    def left_peer_token(self, value: int) -> None:
+        P.set_u64(self.buf, P.OFF_LEFT_PEER_TOKEN, value)
+
+    @property
+    def right_peer_token(self) -> int:
+        return P.get_u64(self.buf, P.OFF_RIGHT_PEER_TOKEN)
+
+    @right_peer_token.setter
+    def right_peer_token(self, value: int) -> None:
+        P.set_u64(self.buf, P.OFF_RIGHT_PEER_TOKEN, value)
+
+    @property
+    def lower(self) -> int:
+        return P.get_u16(self.buf, P.OFF_LOWER)
+
+    @lower.setter
+    def lower(self, value: int) -> None:
+        P.set_u16(self.buf, P.OFF_LOWER, value)
+
+    @property
+    def upper(self) -> int:
+        return P.get_u16(self.buf, P.OFF_UPPER)
+
+    @upper.setter
+    def upper(self, value: int) -> None:
+        P.set_u16(self.buf, P.OFF_UPPER, value)
+
+    @property
+    def lsn(self) -> int:
+        return P.get_u64(self.buf, P.OFF_LSN)
+
+    @lsn.setter
+    def lsn(self, value: int) -> None:
+        P.set_u64(self.buf, P.OFF_LSN, value)
+
+    @property
+    def live_is_low(self) -> bool:
+        return bool(self.flags & FLAG_LIVE_IS_LOW)
+
+    # ------------------------------------------------------------------
+    # initialization
+    # ------------------------------------------------------------------
+
+    def init_page(self, page_type: int, *, level: int = 0,
+                  sync_token: int = 0, shadow_items: bool = False) -> None:
+        """Format the buffer as an empty page of the given type."""
+        flags = FLAG_SHADOW_ITEMS if shadow_items else 0
+        fresh = P.new_page(self.page_size, page_type, level=level,
+                           flags=flags, sync_token=sync_token)
+        self.buf[:] = fresh
+
+    # ------------------------------------------------------------------
+    # item access
+    # ------------------------------------------------------------------
+
+    def item_off(self, index: int) -> int:
+        return P.get_line(self.buf, index)
+
+    def key_at(self, index: int) -> bytes:
+        return I.item_key(self.buf, P.get_line(self.buf, index))
+
+    def tid_at(self, index: int) -> TID:
+        return I.item_tid(self.buf, P.get_line(self.buf, index))
+
+    def child_at(self, index: int) -> int:
+        return I.item_child(self.buf, P.get_line(self.buf, index))
+
+    def prev_at(self, index: int) -> int:
+        return I.item_prev(self.buf, P.get_line(self.buf, index))
+
+    def set_child_at(self, index: int, child: int) -> None:
+        I.set_item_child(self.buf, P.get_line(self.buf, index), child)
+
+    def set_prev_at(self, index: int, prev: int) -> None:
+        I.set_item_prev(self.buf, P.get_line(self.buf, index), prev)
+
+    def item_bytes_at(self, index: int) -> bytes:
+        off = P.get_line(self.buf, index)
+        if self.is_leaf:
+            return I.leaf_item_bytes(self.buf, off)
+        return I.internal_item_bytes(self.buf, off, self.shadow_items)
+
+    def items(self) -> list[bytes]:
+        """All live items, in line-table order."""
+        return [self.item_bytes_at(i) for i in range(self.n_keys)]
+
+    def keys(self) -> Iterator[bytes]:
+        for i in range(self.n_keys):
+            yield self.key_at(i)
+
+    def min_key(self) -> bytes:
+        return self.key_at(0)
+
+    def max_key(self) -> bytes:
+        return self.key_at(self.n_keys - 1)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+
+    def search(self, key: bytes) -> tuple[int, bool]:
+        """Leftmost index whose key >= *key*, and whether it is an exact
+        match.  Index may equal ``n_keys`` (key greater than everything)."""
+        lo, hi = 0, self.n_keys
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.key_at(mid) < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        found = lo < self.n_keys and self.key_at(lo) == key
+        return lo, found
+
+    def route(self, key: bytes) -> int:
+        """Routing slot on an internal page: the rightmost entry whose
+        separator key is <= *key*.  Entry 0 normally carries the
+        minus-infinity sentinel, so this is well defined for any key the
+        descent can legitimately bring here."""
+        index, found = self.search(key)
+        if found:
+            return index
+        if index == 0:
+            # key below every separator: only legal for the leftmost path;
+            # route to the first entry and let consistency checks complain
+            # if this page should never have seen the key
+            return 0
+        return index - 1
+
+    # ------------------------------------------------------------------
+    # space management
+    # ------------------------------------------------------------------
+
+    def free_space(self) -> int:
+        """Contiguous free bytes between line table(s) and item heap."""
+        return self.upper - self.lower
+
+    def can_fit(self, item_size: int) -> bool:
+        return self.free_space() >= item_size + P.LINE_ENTRY_SIZE
+
+    def used_item_bytes(self) -> int:
+        """Bytes referenced by live (and backup) line entries — the size
+        the item heap would have after compaction."""
+        total = 0
+        for i in range(self.n_keys + self.backup_count):
+            off = P.get_line(self.buf, i)
+            total += I.item_size_at(self.buf, off, leaf=self.is_leaf,
+                                    shadow=self.shadow_items)
+        return total
+
+    def compact(self) -> None:
+        """Rewrite the item heap dropping dead item bytes.  Line-table
+        order is preserved; offsets change."""
+        entries = list(range(self.n_keys + self.backup_count))
+        blobs = []
+        for i in entries:
+            off = P.get_line(self.buf, i)
+            size = I.item_size_at(self.buf, off, leaf=self.is_leaf,
+                                  shadow=self.shadow_items)
+            blobs.append(bytes(self.buf[off: off + size]))
+        upper = self.page_size
+        for i, blob in zip(entries, blobs):
+            upper -= len(blob)
+            self.buf[upper: upper + len(blob)] = blob
+            P.set_line(self.buf, i, upper)
+        # zero the dead gap so stale key bytes cannot masquerade as items
+        self.buf[self.lower: upper] = bytes(upper - self.lower)
+        self.upper = upper
+
+    def _store_item(self, item: bytes) -> int:
+        upper = self.upper - len(item)
+        if upper < self.lower + P.LINE_ENTRY_SIZE:
+            raise PageFullError(
+                f"item of {len(item)} bytes does not fit "
+                f"(free={self.free_space()})"
+            )
+        self.buf[upper: upper + len(item)] = item
+        self.upper = upper
+        return upper
+
+    # ------------------------------------------------------------------
+    # crash-safe line-table mutation (Sections 3.3 / 3.3.2)
+    # ------------------------------------------------------------------
+
+    def insert_item(self, index: int, item: bytes,
+                    step_hook: StepHook | None = None) -> None:
+        """Insert *item* at line-table position *index*.
+
+        Follows the paper's byte-write ordering so any mid-update snapshot
+        shows either the old page or a page with a detectable duplicate
+        line-table entry.  *step_hook* (tests only) is called between the
+        ordered steps to let a harness capture intermediate images.
+        """
+        n = self.n_keys
+        if not 0 <= index <= n:
+            raise PageError(f"insert index {index} out of range 0..{n}")
+        if self.prev_n_keys:
+            raise PageError(
+                "insert into a page holding backup keys; the caller must "
+                "run the reclamation check first (paper section 3.4)"
+            )
+        if not self.can_fit(len(item)):
+            # try reclaiming dead item bytes before giving up
+            if (self.used_item_bytes() + len(item) + P.LINE_ENTRY_SIZE
+                    <= self.page_size - self.lower):
+                self.compact()
+            if not self.can_fit(len(item)):
+                raise PageFullError(
+                    f"no room for {len(item)}-byte item "
+                    f"(free={self.free_space()})"
+                )
+        offset = self._store_item(item)
+        if step_hook:
+            step_hook("item-stored")
+        if index == n:
+            P.set_line(self.buf, n, offset)
+            if step_hook:
+                step_hook("line-written")
+            self.n_keys = n + 1
+        else:
+            # (1) copy the last entry one element beyond the line table
+            P.set_line(self.buf, n, P.get_line(self.buf, n - 1))
+            if step_hook:
+                step_hook("copied-last")
+            # (2) increment nKeys
+            self.n_keys = n + 1
+            if step_hook:
+                step_hook("incremented")
+            # (3) copy entries between `index` and the last one right
+            for j in range(n - 1, index, -1):
+                P.set_line(self.buf, j, P.get_line(self.buf, j - 1))
+                if step_hook:
+                    step_hook(f"shifted-{j}")
+            # (4) store the new entry
+            P.set_line(self.buf, index, offset)
+        self.lower = P.line_offset(self.n_keys + self.backup_count)
+
+    def delete_item(self, index: int,
+                    step_hook: StepHook | None = None) -> None:
+        """Delete the entry at *index* with the paper's copy-left-then-
+        decrement ordering.  The item's heap bytes become dead space."""
+        n = self.n_keys
+        if not 0 <= index < n:
+            raise PageError(f"delete index {index} out of range 0..{n - 1}")
+        if self.backup_count:
+            raise PageError(
+                "delete from a page holding backup keys; run the "
+                "reclamation check first"
+            )
+        for j in range(index, n - 1):
+            P.set_line(self.buf, j, P.get_line(self.buf, j + 1))
+            if step_hook:
+                step_hook(f"copied-{j}")
+        self.n_keys = n - 1
+        self.lower = P.line_offset(self.n_keys + self.backup_count)
+
+    # ------------------------------------------------------------------
+    # intra-page inconsistency (Sections 3.3.1 / 3.3.2)
+    # ------------------------------------------------------------------
+
+    def find_intra_page_inconsistency(self) -> int | None:
+        """Index of the first line-table entry that duplicates its
+        neighbour's offset, or None if the page is clean."""
+        prev = None
+        for i in range(self.n_keys):
+            off = P.get_line(self.buf, i)
+            if off == prev:
+                return i
+            prev = off
+        return None
+
+    def repair_intra_page(self) -> bool:
+        """Remove duplicate line-table entries (the interrupted insert's
+        debris).  Returns True if anything was repaired."""
+        repaired = False
+        while True:
+            dup = self.find_intra_page_inconsistency()
+            if dup is None:
+                return repaired
+            # copy entries left until the duplicate is last, then shrink
+            self.delete_item(dup)
+            repaired = True
+
+    # ------------------------------------------------------------------
+    # wholesale rebuild (splits, repairs)
+    # ------------------------------------------------------------------
+
+    def replace_items(self, item_blobs: list[bytes]) -> None:
+        """Rebuild the page to contain exactly *item_blobs* (already
+        serialized, already sorted).  Header identity fields (type, level,
+        flags, peers, tokens) are preserved; the backup region is cleared."""
+        header = P.read_header(self.buf)
+        body_start = P.line_offset(len(item_blobs))
+        upper = self.page_size
+        # clear old content first so dead bytes cannot alias items
+        self.buf[P.HEADER_SIZE:] = bytes(self.page_size - P.HEADER_SIZE)
+        offsets = []
+        for blob in item_blobs:
+            upper -= len(blob)
+            if upper < body_start:
+                raise PageFullError("replace_items: items overflow the page")
+            self.buf[upper: upper + len(blob)] = blob
+            offsets.append(upper)
+        for i, off in enumerate(offsets):
+            P.set_line(self.buf, i, off)
+        header.n_keys = len(item_blobs)
+        header.prev_n_keys = 0
+        header.backup_count = 0
+        header.lower = body_start
+        header.upper = upper
+        P.write_header(self.buf, header)
+
+    # ------------------------------------------------------------------
+    # reorg backup region (Section 3.4)
+    # ------------------------------------------------------------------
+
+    def write_backup(self, backup_blobs: list[bytes], *,
+                     prev_total: int, live_is_low: bool,
+                     old_left_peer: int, old_left_token: int,
+                     old_right_peer: int, old_right_token: int) -> None:
+        """Append the backup keys and the pre-split peer record.
+
+        Must be called on a freshly built page (live items already in
+        place via :meth:`replace_items`).  The backup entries live just
+        beyond the live line table; the peer record sits after them.
+        """
+        if self.backup_count or self.prev_n_keys:
+            raise PageError("page already holds a backup")
+        n = self.n_keys
+        count = len(backup_blobs)
+        need_lower = P.line_offset(n + count) + BACKUP_RECORD_SIZE
+        offsets = []
+        upper = self.upper
+        for blob in backup_blobs:
+            upper -= len(blob)
+            if upper < need_lower:
+                raise PageFullError("backup keys overflow the page")
+            self.buf[upper: upper + len(blob)] = blob
+            offsets.append(upper)
+        self.upper = upper
+        for i, off in enumerate(offsets):
+            P.set_line(self.buf, n + i, off)
+        _BACKUP_RECORD.pack_into(self.buf, P.line_offset(n + count),
+                                 old_left_peer, old_left_token,
+                                 old_right_peer, old_right_token)
+        self.backup_count = count
+        self.prev_n_keys = prev_total
+        flags = self.flags
+        if live_is_low:
+            flags |= FLAG_LIVE_IS_LOW
+        else:
+            flags &= ~FLAG_LIVE_IS_LOW
+        self.flags = flags
+        self.lower = need_lower
+
+    def backup_record(self) -> tuple[int, int, int, int]:
+        """``(old_left_peer, old_left_token, old_right_peer,
+        old_right_token)`` stashed by :meth:`write_backup`."""
+        if not self.backup_count:
+            raise PageError("page holds no backup")
+        off = P.line_offset(self.n_keys + self.backup_count)
+        return _BACKUP_RECORD.unpack_from(self.buf, off)
+
+    def backup_items(self) -> list[bytes]:
+        """Serialized items of the backup half, in key order."""
+        blobs = []
+        for i in range(self.n_keys, self.n_keys + self.backup_count):
+            off = P.get_line(self.buf, i)
+            size = I.item_size_at(self.buf, off, leaf=self.is_leaf,
+                                  shadow=self.shadow_items)
+            blobs.append(bytes(self.buf[off: off + size]))
+        return blobs
+
+    def restore_backup(self) -> None:
+        """Undo the split: make the page hold the original page's full key
+        set again (paper Section 3.4, recovery cases (a)/(b):
+        "assigning prevNKeys to nKeys reallocates the duplicate keys")."""
+        if not self.prev_n_keys:
+            raise PageError("restore_backup on a page with no backup")
+        n, b = self.n_keys, self.backup_count
+        if n + b != self.prev_n_keys:
+            raise PageCorruptError(
+                f"backup accounting broken: n={n} b={b} "
+                f"prev={self.prev_n_keys}"
+            )
+        old_left, old_left_tok, old_right, old_right_tok = self.backup_record()
+        if not self.live_is_low:
+            # live entries are the high half: rotate so the merged table
+            # is in key order (backup half first)
+            live = [P.get_line(self.buf, i) for i in range(n)]
+            backup = [P.get_line(self.buf, n + i) for i in range(b)]
+            for i, off in enumerate(backup + live):
+                P.set_line(self.buf, i, off)
+        self.n_keys = self.prev_n_keys
+        self.prev_n_keys = 0
+        self.backup_count = 0
+        self.new_page = 0
+        self.flags &= ~FLAG_LIVE_IS_LOW
+        self.left_peer = old_left
+        self.left_peer_token = old_left_tok
+        self.right_peer = old_right
+        self.right_peer_token = old_right_tok
+        self.lower = P.line_offset(self.n_keys)
+
+    def reclaim_backup(self) -> None:
+        """Drop the backup keys once a sync has committed both split halves
+        (the split is durable; the duplicates are no longer needed)."""
+        if not self.prev_n_keys:
+            return
+        self.prev_n_keys = 0
+        self.backup_count = 0
+        self.flags &= ~FLAG_LIVE_IS_LOW
+        self.new_page = 0
+        self.lower = P.line_offset(self.n_keys)
+        self.compact()
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable dump used by the split-anatomy example."""
+        kind = {PAGE_LEAF: "leaf", PAGE_INTERNAL: "internal"}.get(
+            self.page_type, f"type{self.page_type}")
+        lines = [
+            f"{kind} level={self.level} n_keys={self.n_keys} "
+            f"prev_n_keys={self.prev_n_keys} backup={self.backup_count} "
+            f"token={self.sync_token} new_page={self.new_page} "
+            f"peers=({self.left_peer},{self.right_peer}) "
+            f"free={self.free_space()}"
+        ]
+        for i in range(self.n_keys):
+            key = self.key_at(i)
+            if self.is_leaf:
+                lines.append(f"  [{i}] {key.hex()} -> {self.tid_at(i)}")
+            elif self.shadow_items:
+                lines.append(
+                    f"  [{i}] {key.hex() or '-inf'} child={self.child_at(i)} "
+                    f"prev={self.prev_at(i)}"
+                )
+            else:
+                lines.append(
+                    f"  [{i}] {key.hex() or '-inf'} child={self.child_at(i)}"
+                )
+        for j in range(self.backup_count):
+            i = self.n_keys + j
+            off = P.get_line(self.buf, i)
+            lines.append(f"  (backup) {I.item_key(self.buf, off).hex()}")
+        return "\n".join(lines)

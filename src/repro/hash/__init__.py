@@ -1,0 +1,7 @@
+"""Shadow-recoverable extendible hashing — the paper's generalization
+claim ("the same techniques can be used for ... extensible hash
+indices") made concrete."""
+
+from .extendible import ExtendibleHashIndex, hash_key
+
+__all__ = ["ExtendibleHashIndex", "hash_key"]

@@ -1,0 +1,27 @@
+"""Analytic models for Section 5 (tree heights and growth rates)."""
+
+from .growth import FILL_FACTORS, MeasuredTree, measure_tree
+from .height import (
+    PageModel,
+    coincidence_fraction,
+    file_pages,
+    height_at_file_limit,
+    height_table,
+    keys_at_file_limit,
+    max_keys_at_height,
+    tree_height,
+)
+
+__all__ = [
+    "FILL_FACTORS",
+    "MeasuredTree",
+    "PageModel",
+    "coincidence_fraction",
+    "file_pages",
+    "height_at_file_limit",
+    "height_table",
+    "keys_at_file_limit",
+    "max_keys_at_height",
+    "measure_tree",
+    "tree_height",
+]

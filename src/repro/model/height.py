@@ -1,0 +1,163 @@
+"""Analytic tree-height model (paper Section 5).
+
+The concern: shadow indices spend four extra bytes per internal key (the
+prevPtr), reducing fanout; does the tree get taller?  The paper's
+analysis found that "in practice, the space overhead for shadow index
+prevPtrs does not matter very much": small trees have few internal
+levels, the heights of larger normal and shadow trees coincide for most
+index sizes, and with four-byte keys a tree of either type exceeds the
+2 GB UNIX file-size limit before reaching five levels.
+
+The model here reproduces those statements from the byte-exact page
+layout of this implementation (64-byte header, 2-byte line entries,
+length-prefixed items).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constants import DEFAULT_PAGE_SIZE, UNIX_FILE_SIZE_LIMIT
+from ..core.items import (
+    INTERNAL_OVERHEAD,
+    LEAF_OVERHEAD,
+    SHADOW_OVERHEAD,
+)
+from ..core.nodeview import BACKUP_RECORD_SIZE
+from ..storage.page import HEADER_SIZE, LINE_ENTRY_SIZE
+
+
+@dataclass(frozen=True)
+class PageModel:
+    """Byte-level capacity model for one tree kind."""
+
+    kind: str
+    page_size: int = DEFAULT_PAGE_SIZE
+    key_size: int = 4
+    #: fraction of capacity actually used; 0.5 models the worst-case
+    #: ascending insertion order (every split leaves the old page half
+    #: full), ln 2 ≈ 0.69 models random insertion
+    fill_factor: float = 0.5
+
+    def _usable(self) -> int:
+        usable = self.page_size - HEADER_SIZE
+        if self.kind == "reorg":
+            # this implementation reserves room for the 24-byte backup
+            # record a future split will write
+            usable -= BACKUP_RECORD_SIZE
+        return usable
+
+    def leaf_capacity(self) -> int:
+        item = LEAF_OVERHEAD + self.key_size + LINE_ENTRY_SIZE
+        return self._usable() // item
+
+    def internal_capacity(self, level: int = 1) -> int:
+        if self.kind == "shadow" or (self.kind == "hybrid" and level == 1):
+            overhead = SHADOW_OVERHEAD
+        else:
+            overhead = INTERNAL_OVERHEAD
+        item = overhead + self.key_size + LINE_ENTRY_SIZE
+        return self._usable() // item
+
+    def effective_leaf(self) -> float:
+        return max(self.leaf_capacity() * self.fill_factor, 1.0)
+
+    def effective_internal(self, level: int = 1) -> float:
+        return max(self.internal_capacity(level) * self.fill_factor, 2.0)
+
+
+def tree_height(n_keys: int, model: PageModel) -> int:
+    """Levels in a tree holding *n_keys* (1 = a single leaf)."""
+    if n_keys <= 0:
+        return 0
+    pages = math.ceil(n_keys / model.effective_leaf())
+    height = 1
+    level = 1
+    while pages > 1:
+        pages = math.ceil(pages / model.effective_internal(level))
+        height += 1
+        level += 1
+    return height
+
+
+def max_keys_at_height(height: int, model: PageModel) -> int:
+    """Largest key count a tree of *height* levels can hold."""
+    if height <= 0:
+        return 0
+    capacity = model.effective_leaf()
+    for level in range(1, height):
+        capacity *= model.effective_internal(level)
+    return int(capacity)
+
+
+def file_pages(n_keys: int, model: PageModel) -> int:
+    """Approximate file size in pages for *n_keys* (leaves + internals)."""
+    if n_keys <= 0:
+        return 1
+    total = 1  # meta page
+    pages = math.ceil(n_keys / model.effective_leaf())
+    total += pages
+    level = 1
+    while pages > 1:
+        pages = math.ceil(pages / model.effective_internal(level))
+        total += pages
+        level += 1
+    return total
+
+
+def keys_at_file_limit(model: PageModel,
+                       limit: int = UNIX_FILE_SIZE_LIMIT) -> int:
+    """How many keys fit before the file hits the 2 GB UNIX limit."""
+    lo, hi = 1, 1 << 40
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if file_pages(mid, model) * model.page_size <= limit:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def height_at_file_limit(model: PageModel,
+                         limit: int = UNIX_FILE_SIZE_LIMIT) -> int:
+    """Tree height when the file reaches the size limit — the paper's
+    "would exceed the 2 GByte maximum before it reached five levels"."""
+    return tree_height(keys_at_file_limit(model, limit), model)
+
+
+def coincidence_fraction(key_size: int, *,
+                         page_size: int = DEFAULT_PAGE_SIZE,
+                         fill_factor: float = 0.5,
+                         samples: int = 400,
+                         max_keys: int | None = None) -> float:
+    """Fraction of (log-spaced) index sizes at which the shadow tree has
+    the same height as the normal tree — the paper's "the heights of
+    larger normal and shadow B-link-trees will coincide for most index
+    sizes"."""
+    normal = PageModel("normal", page_size, key_size, fill_factor)
+    shadow = PageModel("shadow", page_size, key_size, fill_factor)
+    if max_keys is None:
+        max_keys = keys_at_file_limit(normal)
+    same = 0
+    for i in range(samples):
+        n = int(10 ** (math.log10(max_keys) * (i + 1) / samples))
+        if tree_height(n, normal) == tree_height(n, shadow):
+            same += 1
+    return same / samples
+
+
+def height_table(key_sizes: list[int], sizes: list[int], *,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 fill_factor: float = 0.5) -> list[dict]:
+    """Height of each tree kind for each (key size, index size) pair —
+    the data behind the Section 5 discussion."""
+    rows = []
+    for key_size in key_sizes:
+        for n in sizes:
+            row = {"key_size": key_size, "n_keys": n}
+            for kind in ("normal", "shadow", "reorg", "hybrid"):
+                model = PageModel(kind, page_size, key_size, fill_factor)
+                row[kind] = tree_height(n, model)
+            rows.append(row)
+    return rows

@@ -1,0 +1,6 @@
+"""Shadow-recoverable R-tree — the paper's other named generalization
+("the same techniques can be used for R-trees")."""
+
+from .rtree import EVERYTHING, Rect, RTreeIndex
+
+__all__ = ["EVERYTHING", "RTreeIndex", "Rect"]

@@ -1,0 +1,185 @@
+"""Buffer pool with pin counts, dirty tracking, and remapping.
+
+The pool mediates every page access.  Three behaviours matter to the
+paper's algorithms:
+
+* **Pinning** (Section 3.6): a reader pins a child's buffer before
+  releasing the parent's latch, and the allocator refuses to recycle a page
+  whose buffer is pinned by anyone else.  Pin counts are therefore exposed
+  to the freelist.
+* **Dirty tracking**: commit-time sync writes exactly the dirty buffers, in
+  OS order, through the simulated disk — the pool never writes dirty pages
+  on its own (a strict no-steal discipline, matching POSTGRES' "all pages
+  touched by a transaction are written at commit").
+* **Remapping** (Section 3.4, split step 5): a page-reorganization split
+  builds the reorganized page ``Pa`` in a buffer with *no* disk address and
+  then rebinds that buffer to the split page's slot, so the original page
+  on disk is replaced only when the next sync writes it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+from ..errors import BufferError_
+from .disk import SimulatedDisk
+
+
+class Buffer:
+    """One in-memory page frame.
+
+    ``page_no`` is ``None`` for virtual buffers (allocated in memory only,
+    not yet bound to a disk slot).
+    """
+
+    __slots__ = ("page_no", "data", "pin_count", "dirty")
+
+    def __init__(self, page_no: int | None, data: bytearray):
+        self.page_no = page_no
+        self.data = data
+        self.pin_count = 0
+        self.dirty = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Buffer page={self.page_no} pins={self.pin_count} "
+                f"dirty={self.dirty}>")
+
+
+class BufferPool:
+    """Page cache over one :class:`SimulatedDisk`.
+
+    Parameters
+    ----------
+    disk:
+        Backing stable storage.
+    capacity:
+        Soft limit on cached frames.  Clean, unpinned frames are evicted
+        LRU when the limit is exceeded; dirty or pinned frames are never
+        evicted (no-steal), so the pool can grow past the limit under
+        pressure — ``stats_overflows`` counts how often.
+    """
+
+    def __init__(self, disk: SimulatedDisk, capacity: int | None = None):
+        self._disk = disk
+        self._capacity = capacity
+        self._frames: OrderedDict[int, Buffer] = OrderedDict()
+        self.stats_hits = 0
+        self.stats_misses = 0
+        self.stats_overflows = 0
+
+    # -- pinning -------------------------------------------------------------
+
+    def pin(self, page_no: int) -> Buffer:
+        """Pin the buffer for *page_no*, faulting it in if needed."""
+        buf = self._frames.get(page_no)
+        if buf is not None:
+            self.stats_hits += 1
+            self._frames.move_to_end(page_no)
+            buf.pin_count += 1
+        else:
+            self.stats_misses += 1
+            data = bytearray(self._disk.read_page(page_no))
+            buf = Buffer(page_no, data)
+            self._frames[page_no] = buf
+            # pin before evicting so the fresh frame cannot be the victim
+            buf.pin_count += 1
+            self._maybe_evict()
+        return buf
+
+    def unpin(self, buf: Buffer) -> None:
+        if buf.pin_count <= 0:
+            raise BufferError_(f"unpin of unpinned buffer {buf!r}")
+        buf.pin_count -= 1
+
+    def pin_count(self, page_no: int) -> int:
+        """Pin count of a cached page (0 if not cached) — used by the
+        allocator's is-anyone-using-this check."""
+        buf = self._frames.get(page_no)
+        return 0 if buf is None else buf.pin_count
+
+    # -- dirty tracking --------------------------------------------------------
+
+    def mark_dirty(self, buf: Buffer) -> None:
+        if buf.pin_count <= 0:
+            raise BufferError_("mark_dirty requires a pinned buffer")
+        buf.dirty = True
+
+    def dirty_batch(self) -> dict[int, bytes]:
+        """Snapshot of every dirty frame, as the batch for a sync."""
+        return {
+            page_no: bytes(buf.data)
+            for page_no, buf in self._frames.items()
+            if buf.dirty and page_no is not None
+        }
+
+    def clear_dirty(self, page_nos: Iterator[int] | None = None) -> None:
+        """Mark frames clean after a successful sync."""
+        if page_nos is None:
+            targets = list(self._frames.values())
+        else:
+            targets = [self._frames[p] for p in page_nos if p in self._frames]
+        for buf in targets:
+            buf.dirty = False
+
+    # -- virtual buffers and remapping ------------------------------------------
+
+    def allocate_virtual(self, data: bytearray) -> Buffer:
+        """A pinned buffer with no disk address (reorg split step 1:
+        "Pa is allocated in memory only; it is not backed up on disk")."""
+        buf = Buffer(None, data)
+        buf.pin_count = 1
+        buf.dirty = True
+        return buf
+
+    def remap(self, virtual: Buffer, old: Buffer) -> Buffer:
+        """Rebind *virtual* to the disk slot of *old* (reorg split step 5).
+
+        The caller must hold the only pin on *old*; its frame is discarded
+        (the durable image on disk is untouched until the next sync) and
+        *virtual* takes over its page number, keeping its single pin and
+        dirty state.
+        """
+        if virtual.page_no is not None:
+            raise BufferError_("remap source must be a virtual buffer")
+        if old.page_no is None:
+            raise BufferError_("remap target has no disk address")
+        if old.pin_count != 1:
+            raise BufferError_(
+                f"remap target pinned {old.pin_count} times; caller must "
+                "hold the only pin"
+            )
+        page_no = old.page_no
+        old.pin_count = 0
+        old.page_no = None
+        del self._frames[page_no]
+        virtual.page_no = page_no
+        self._frames[page_no] = virtual
+        self._frames.move_to_end(page_no)
+        return virtual
+
+    # -- cache management ---------------------------------------------------------
+
+    def drop(self, page_no: int) -> None:
+        """Remove a (clean, unpinned) frame from the cache, e.g. after its
+        page was freed."""
+        buf = self._frames.get(page_no)
+        if buf is None:
+            return
+        if buf.pin_count:
+            raise BufferError_(f"drop of pinned buffer {buf!r}")
+        del self._frames[page_no]
+
+    def cached_pages(self) -> list[int]:
+        return list(self._frames)
+
+    def _maybe_evict(self) -> None:
+        if self._capacity is None or len(self._frames) <= self._capacity:
+            return
+        for page_no, buf in list(self._frames.items()):
+            if len(self._frames) <= self._capacity:
+                return
+            if buf.pin_count == 0 and not buf.dirty:
+                del self._frames[page_no]
+        if len(self._frames) > self._capacity:
+            self.stats_overflows += 1

@@ -1,0 +1,158 @@
+"""Crash-injection policies for the simulated disk.
+
+The paper's failure model (Section 2): a ``sync`` writes all dirty pages in
+an order chosen by the operating system; a crash during the sync persists an
+arbitrary subset of them; single-page writes are atomic.  A
+:class:`CrashPolicy` decides, for each sync batch, which subset (if any)
+reaches stable storage before the simulated machine dies.
+
+Policies see the batch as an ordered list of ``(file_name, page_no)`` ids
+and return either ``None`` (no crash) or the subset of ids to persist.
+Deterministic policies make it possible to *enumerate* every distinct crash
+state of an update — something a real fsync-based test harness cannot do,
+and the reason the simulator substitutes for the paper's Ultrix testbed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Iterable, Sequence
+
+PageId = tuple[str, int]
+
+
+class CrashPolicy:
+    """Base class: never crashes."""
+
+    def select(self, batch: Sequence[PageId]) -> Sequence[PageId] | None:
+        """Return the subset of *batch* to persist before crashing, or
+        ``None`` to let the sync complete normally."""
+        return None
+
+
+#: Singleton policy for normal (crash-free) operation.
+NO_CRASH = CrashPolicy()
+
+
+class CrashNever(CrashPolicy):
+    """Alias of the base policy, for explicitness in test parametrization."""
+
+
+class CrashOnNthSync(CrashPolicy):
+    """Crash on the *n*-th sync (1-based), persisting a fixed subset.
+
+    ``keep`` selects which batch elements survive:
+
+    * an int *k*: the first *k* pages of the batch (OS wrote a prefix),
+    * an iterable of indexes into the batch, or of page ids themselves,
+    * a callable ``batch -> subset``.
+    """
+
+    def __init__(self, n: int, keep=0):
+        self._n = n
+        self._seen = 0
+        self._keep = keep
+
+    def select(self, batch: Sequence[PageId]) -> Sequence[PageId] | None:
+        self._seen += 1
+        if self._seen != self._n:
+            return None
+        if callable(self._keep):
+            return list(self._keep(batch))
+        if isinstance(self._keep, int):
+            return list(batch[: self._keep])
+        keep = list(self._keep)
+        if keep and isinstance(keep[0], int):
+            return [batch[i] for i in keep]
+        keep_set = set(keep)
+        return [pid for pid in batch if pid in keep_set]
+
+
+class CrashOnceKeepingPages(CrashPolicy):
+    """Crash on the next sync, persisting exactly the named pages.
+
+    Page ids absent from the batch are ignored, which lets tests name the
+    pages they care about without knowing the full batch contents.
+    """
+
+    def __init__(self, keep: Iterable[PageId]):
+        self._keep = set(keep)
+        self._fired = False
+
+    def select(self, batch: Sequence[PageId]) -> Sequence[PageId] | None:
+        if self._fired:
+            return None
+        self._fired = True
+        return [pid for pid in batch if pid in self._keep]
+
+
+class RandomSubsetCrash(CrashPolicy):
+    """Crash with probability *p* on each sync, persisting a uniformly
+    random subset of the batch.  Seeded for reproducibility."""
+
+    def __init__(self, p: float = 1.0, seed: int = 0):
+        self._p = p
+        self._rng = random.Random(seed)
+
+    def select(self, batch: Sequence[PageId]) -> Sequence[PageId] | None:
+        if self._rng.random() >= self._p:
+            return None
+        return [pid for pid in batch if self._rng.random() < 0.5]
+
+
+class SubsetEnumerator:
+    """Enumerate every subset of a sync batch as a sequence of policies.
+
+    Usage pattern for exhaustive crash campaigns::
+
+        probe = ...   # run the scenario once with a RecordingPolicy to
+                      # learn the batch of the sync under test
+        for policy in SubsetEnumerator(probe.batches[k]):
+            ...       # re-run the scenario from a snapshot with `policy`
+
+    For batches larger than ``max_exhaustive`` pages the enumeration falls
+    back to sampling ``sample`` random subsets (seeded), since 2^n subsets
+    becomes intractable.
+    """
+
+    def __init__(self, batch: Sequence[PageId], *, sync_index: int = 1,
+                 max_exhaustive: int = 12, sample: int = 256, seed: int = 0):
+        self._batch = list(batch)
+        self._sync_index = sync_index
+        self._max_exhaustive = max_exhaustive
+        self._sample = sample
+        self._seed = seed
+
+    def __iter__(self):
+        for subset in self.subsets():
+            yield CrashOnNthSync(self._sync_index, keep=list(subset))
+
+    def subsets(self) -> Iterable[tuple[PageId, ...]]:
+        n = len(self._batch)
+        if n <= self._max_exhaustive:
+            for r in range(n + 1):
+                yield from itertools.combinations(self._batch, r)
+            return
+        rng = random.Random(self._seed)
+        seen = set()
+        # always include the two extremes
+        for subset in ((), tuple(self._batch)):
+            seen.add(subset)
+            yield subset
+        while len(seen) < self._sample:
+            subset = tuple(pid for pid in self._batch if rng.random() < 0.5)
+            if subset not in seen:
+                seen.add(subset)
+                yield subset
+
+
+class RecordingPolicy(CrashPolicy):
+    """Never crashes; records every sync batch for later enumeration."""
+
+    def __init__(self):
+        self.batches: list[list[PageId]] = []
+
+    def select(self, batch: Sequence[PageId]) -> Sequence[PageId] | None:
+        self.batches.append(list(batch))
+        return None

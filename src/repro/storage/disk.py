@@ -1,0 +1,164 @@
+"""Simulated stable storage.
+
+:class:`SimulatedDisk` models the paper's failure semantics exactly
+(Section 2):
+
+* ``sync`` writes a batch of dirty pages in an order chosen by the "OS"
+  (here: a shuffle hook), **not** by the DBMS;
+* a crash during sync persists an arbitrary subset of the batch
+  (delegated to a :class:`~repro.storage.crash.CrashPolicy`);
+* single-page writes are atomic — a page is either its old image or its
+  new image, never a mixture;
+* ``sync`` blocks until every write in the batch is durable.
+
+Each disk holds the pages of one file.  Durable state is a plain
+``dict[int, bytes]``; anything not in it reads back as zeroes, matching a
+freshly extended UNIX file.  :meth:`snapshot`/:meth:`restore` let crash
+campaigns rewind stable storage to re-run a scenario under a different
+crash subset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Mapping, Sequence
+
+from ..errors import CrashError, PageError
+from .crash import NO_CRASH, CrashPolicy, PageId
+from .page import validate_page_size
+
+
+class DiskStats:
+    """Mutable I/O counters for one simulated disk."""
+
+    __slots__ = ("reads", "writes", "syncs", "crashes", "bytes_written")
+
+    def __init__(self):
+        self.reads = 0
+        self.writes = 0
+        self.syncs = 0
+        self.crashes = 0
+        self.bytes_written = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class SimulatedDisk:
+    """Stable storage for one page file.
+
+    Parameters
+    ----------
+    name:
+        File name, used in crash-policy page ids so one policy can span
+        several files in an engine-wide sync.
+    page_size:
+        Fixed page size in bytes; every write must be exactly this long.
+    shuffle:
+        Optional ``list -> None`` in-place reorder hook applied to each sync
+        batch before the crash policy sees it, modelling OS-chosen write
+        order.  Defaults to a seeded shuffle.
+    """
+
+    def __init__(self, name: str, page_size: int, *,
+                 shuffle: Callable[[list], None] | None = None,
+                 seed: int = 0):
+        self.name = name
+        self.page_size = validate_page_size(page_size)
+        self._pages: dict[int, bytes] = {}
+        self._n_pages = 0
+        self.stats = DiskStats()
+        if shuffle is None:
+            rng = random.Random(seed)
+            shuffle = rng.shuffle
+        self._shuffle = shuffle
+
+    # -- size ------------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        """Current file length in pages (highest written page + 1)."""
+        return self._n_pages
+
+    # -- single-page operations -------------------------------------------
+
+    def read_page(self, page_no: int) -> bytes:
+        """Read one page; unwritten pages read back as zeroes."""
+        if page_no < 0:
+            raise PageError(f"negative page number {page_no}")
+        self.stats.reads += 1
+        data = self._pages.get(page_no)
+        if data is None:
+            return bytes(self.page_size)
+        return data
+
+    def write_page(self, page_no: int, data: bytes | bytearray) -> None:
+        """Atomically write one page, immediately durable.
+
+        This models the synchronous single-page write the paper uses for
+        bumping the maximum sync counter; bulk dirty-page writeback must go
+        through :meth:`sync` so crash policies can intercept it.
+        """
+        self._write(page_no, data)
+
+    def _write(self, page_no: int, data: bytes | bytearray) -> None:
+        if page_no < 0:
+            raise PageError(f"negative page number {page_no}")
+        if len(data) != self.page_size:
+            raise PageError(
+                f"write of {len(data)} bytes to page {page_no}; "
+                f"page size is {self.page_size}"
+            )
+        self._pages[page_no] = bytes(data)
+        self._n_pages = max(self._n_pages, page_no + 1)
+        self.stats.writes += 1
+        self.stats.bytes_written += self.page_size
+
+    # -- sync --------------------------------------------------------------
+
+    def sync(self, batch: Mapping[int, bytes | bytearray],
+             policy: CrashPolicy = NO_CRASH) -> None:
+        """Write a batch of pages in OS-chosen order, honouring *policy*.
+
+        On a crash, the selected subset is applied to stable storage and
+        :class:`CrashError` is raised; the caller must treat the process as
+        dead.  Page ids handed to the policy are ``(self.name, page_no)``.
+        """
+        self.stats.syncs += 1
+        order: list[PageId] = [(self.name, page_no) for page_no in batch]
+        self._shuffle(order)
+        survivors = policy.select(order)
+        if survivors is None:
+            for _, page_no in order:
+                self._write(page_no, batch[page_no])
+            return
+        survivor_set = set(survivors)
+        written = []
+        for pid in order:
+            if pid in survivor_set:
+                self._write(pid[1], batch[pid[1]])
+                written.append(pid)
+        self.stats.crashes += 1
+        dropped = [pid for pid in order if pid not in survivor_set]
+        raise CrashError(
+            f"crash during sync of {self.name}: "
+            f"{len(written)}/{len(order)} pages persisted",
+            written=written, dropped=dropped,
+        )
+
+    # -- snapshots for crash campaigns --------------------------------------
+
+    def snapshot(self) -> dict[int, bytes]:
+        """Copy of the durable state, for later :meth:`restore`."""
+        return dict(self._pages)
+
+    def restore(self, snap: Mapping[int, bytes]) -> None:
+        """Rewind stable storage to a snapshot."""
+        self._pages = dict(snap)
+        self._n_pages = max(self._pages, default=-1) + 1
+
+    def durable_image(self, page_no: int) -> bytes | None:
+        """The durable bytes of a page, or None if never written.  Unlike
+        :meth:`read_page` this does not count as an I/O and distinguishes
+        'never written' from 'written as zeroes'."""
+        return self._pages.get(page_no)

@@ -1,0 +1,235 @@
+"""The storage engine: files, engine-wide sync, crash and restart.
+
+A :class:`StorageEngine` owns a set of :class:`~repro.storage.pagefile.PageFile`
+objects plus the global sync-counter state, and implements the paper's
+``sync`` primitive across all of them:
+
+* :meth:`sync` collects every dirty buffer from every file into a single
+  batch, shuffles it (OS-chosen write order), and writes it through the
+  crash policy.  On success the sync counter advances (iff a split
+  happened), deferred frees drain, and dirty flags clear.
+* A :class:`~repro.errors.CrashError` from the policy marks the engine
+  **dead**: all further operations raise, exactly as if the process had
+  been killed.  :meth:`reopen_after_crash` builds a fresh engine over the
+  same durable state — the only state that survives, as in the paper.
+
+Restart cost is the point of the paper: reopening touches only the engine
+control page (to re-initialize the sync counter from the persisted
+maximum).  No log is processed; indexes repair themselves on first use.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..constants import DEFAULT_PAGE_SIZE, SYNC_COUNTER_BATCH
+from ..errors import CrashError, ReproError
+from .crash import NO_CRASH, CrashPolicy
+from .disk import SimulatedDisk
+from .pagefile import PageFile
+from .sync import SyncState
+
+import struct
+
+#: Control-page payload: magic, max_counter, counter, last_crash_token, clean
+_CONTROL_STRUCT = struct.Struct("<IQQQB")
+_CONTROL_MAGIC = 0x52435054  # "RCPT"
+_CONTROL_FILE = "_control"
+
+
+class EngineDeadError(ReproError):
+    """The engine crashed (or shut down); reopen it to continue."""
+
+
+class StorageEngine:
+    """Top-level storage manager for one simulated machine.
+
+    Create a fresh database with :meth:`create`; simulate a reboot after a
+    crash with :meth:`reopen_after_crash`; simulate a clean stop/start with
+    :meth:`shutdown` + :meth:`reopen_after_crash` (which detects the clean
+    record and keeps the counter).
+    """
+
+    def __init__(self, *, page_size: int = DEFAULT_PAGE_SIZE, seed: int = 0,
+                 disks: dict[str, SimulatedDisk] | None = None,
+                 counter_batch: int = SYNC_COUNTER_BATCH,
+                 pool_capacity: int | None = None):
+        self.page_size = page_size
+        self.pool_capacity = pool_capacity
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._counter_batch = counter_batch
+        self.dead = False
+        self.crash_policy: CrashPolicy = NO_CRASH
+        #: callbacks invoked after every successful sync (trees hook these
+        #: to observe sync completion; tests hook them to count syncs)
+        self.post_sync_hooks: list[Callable[[], None]] = []
+        self.stats_syncs = 0
+
+        self._disks: dict[str, SimulatedDisk] = disks if disks is not None else {}
+        self._files: dict[str, PageFile] = {}
+
+        control_disk = self._disks.get(_CONTROL_FILE)
+        if control_disk is None:
+            control_disk = SimulatedDisk(_CONTROL_FILE, page_size,
+                                         seed=self._rng.randrange(1 << 30))
+            self._disks[_CONTROL_FILE] = control_disk
+            self.sync_state = SyncState.fresh(self._persist_max_counter,
+                                              batch=counter_batch)
+            self._write_control(clean=False)
+        else:
+            self.sync_state = self._recover_sync_state(control_disk)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(cls, *, page_size: int = DEFAULT_PAGE_SIZE, seed: int = 0,
+               counter_batch: int = SYNC_COUNTER_BATCH,
+               pool_capacity: int | None = None) -> "StorageEngine":
+        return cls(page_size=page_size, seed=seed,
+                   counter_batch=counter_batch, pool_capacity=pool_capacity)
+
+    @classmethod
+    def reopen_after_crash(cls, dead_engine: "StorageEngine", *,
+                           seed: int | None = None) -> "StorageEngine":
+        """Boot a fresh engine over the durable state of *dead_engine*.
+
+        Works equally for a crashed and a cleanly shut down engine; the
+        control page distinguishes the two.
+        """
+        return cls(page_size=dead_engine.page_size,
+                   seed=dead_engine._seed + 1 if seed is None else seed,
+                   disks=dead_engine._disks,
+                   counter_batch=dead_engine._counter_batch,
+                   pool_capacity=dead_engine.pool_capacity)
+
+    # -- files ---------------------------------------------------------------
+
+    def create_file(self, name: str) -> PageFile:
+        self._check_alive()
+        if name in self._files or name == _CONTROL_FILE:
+            raise ReproError(f"file {name!r} already exists")
+        if name not in self._disks:
+            self._disks[name] = SimulatedDisk(
+                name, self.page_size, seed=self._rng.randrange(1 << 30))
+        file = PageFile(name, self._disks[name],
+                        pool_capacity=self.pool_capacity)
+        self._files[name] = file
+        return file
+
+    def open_file(self, name: str) -> PageFile:
+        """Open an existing file (its disk must already hold data)."""
+        self._check_alive()
+        if name in self._files:
+            return self._files[name]
+        if name not in self._disks:
+            raise ReproError(f"no such file {name!r}")
+        file = PageFile(name, self._disks[name],
+                        pool_capacity=self.pool_capacity)
+        self._files[name] = file
+        return file
+
+    def file_names(self) -> list[str]:
+        return [n for n in self._disks if n != _CONTROL_FILE]
+
+    # -- sync -------------------------------------------------------------------
+
+    def sync(self, policy: CrashPolicy | None = None) -> None:
+        """Write all dirty pages of all files; the paper's commit-time sync.
+
+        Raises :class:`CrashError` (and kills the engine) if the crash
+        policy fires.
+        """
+        self._check_alive()
+        if policy is None:
+            policy = self.crash_policy
+        batches = {
+            name: file.pool.dirty_batch() for name, file in self._files.items()
+        }
+        order = [(name, page_no)
+                 for name, batch in batches.items() for page_no in batch]
+        self._rng.shuffle(order)
+        self.stats_syncs += 1
+
+        survivors = policy.select(order)
+        if survivors is None:
+            for name, page_no in order:
+                self._disks[name].write_page(page_no, batches[name][page_no])
+            for name, file in self._files.items():
+                file.pool.clear_dirty(iter(batches[name]))
+                file.freelist.drain_after_sync()
+            self.sync_state.on_sync_complete()
+            for hook in self.post_sync_hooks:
+                hook()
+            return
+
+        survivor_set = set(survivors)
+        written = []
+        for pid in order:
+            if pid in survivor_set:
+                name, page_no = pid
+                self._disks[name].write_page(page_no, batches[name][page_no])
+                written.append(pid)
+        self.dead = True
+        dropped = [pid for pid in order if pid not in survivor_set]
+        raise CrashError(
+            f"crash during engine sync: {len(written)}/{len(order)} pages "
+            "persisted", written=written, dropped=dropped,
+        )
+
+    # -- shutdown / recovery ------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Clean shutdown: sync everything, persist the counter state, mark
+        the control page clean, and kill the engine."""
+        self._check_alive()
+        self.sync()
+        self._write_control(clean=True)
+        self.dead = True
+
+    def _recover_sync_state(self, control_disk: SimulatedDisk) -> SyncState:
+        raw = control_disk.read_page(0)
+        magic, max_counter, counter, last_crash, clean = \
+            _CONTROL_STRUCT.unpack_from(raw, 0)
+        if magic != _CONTROL_MAGIC:
+            raise ReproError("control page corrupt: bad magic")
+        if clean:
+            state = SyncState.after_clean_shutdown(
+                self._persist_max_counter, counter=counter,
+                last_crash_token=last_crash, persisted_max=max_counter,
+                batch=self._counter_batch)
+        else:
+            state = SyncState.after_crash(
+                self._persist_max_counter, persisted_max=max_counter,
+                batch=self._counter_batch)
+        # clear the clean flag so a future crash is recognized as one
+        self.sync_state = state
+        self._write_control(clean=False)
+        return state
+
+    def _persist_max_counter(self, new_max: int) -> None:
+        # during __init__ sync_state may not be assigned yet
+        state = getattr(self, "sync_state", None)
+        if state is None:
+            self._pending_max = new_max
+            return
+        self._write_control(clean=False)
+
+    def _write_control(self, *, clean: bool) -> None:
+        state = self.sync_state
+        buf = bytearray(self.page_size)
+        _CONTROL_STRUCT.pack_into(
+            buf, 0, _CONTROL_MAGIC, state.max_counter, state.counter,
+            state.last_crash_token, 1 if clean else 0)
+        # synchronous single-page write: atomic, bypasses crash policies
+        self._disks[_CONTROL_FILE].write_page(0, buf)
+
+    # -- liveness -------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self.dead:
+            raise EngineDeadError(
+                "storage engine is dead (crashed or shut down); "
+                "use StorageEngine.reopen_after_crash"
+            )

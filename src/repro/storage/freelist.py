@@ -1,0 +1,144 @@
+"""Index free-space management (paper Section 3.3.3).
+
+During normal operation, pages freed from an index sit on an **in-memory**
+freelist; because it is volatile it simply vanishes in a crash and the pages
+leak until a garbage-collection pass regenerates the list (POSTGRES already
+owes heap relations a garbage collector, so the paper piggybacks on it —
+see :func:`repro.core.gc.regenerate_freelist`).  When the list is empty a
+new page is always available by extending the file.
+
+Two paper-specific subtleties are implemented here:
+
+* **Deferred frees.**  A shadow split that replaces an already-durable page
+  ``P`` may not reuse ``P`` until the replacement halves are durable, so
+  ``P`` goes on a *to-be-freed* list drained into the freelist only after
+  the next successful sync.
+* **Key ranges.**  Each freelist entry records the key range the page last
+  held.  The allocator refuses to hand a page back out for an overlapping
+  key range: "if the same page were reallocated for the same key range,
+  there would be no way to tell if the new version of the page were lost in
+  a crash."
+* **Pin checks.**  A page whose buffer some other process still has pinned
+  is skipped by the allocator (Section 3.6's reader-safety rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import FreelistError
+
+#: A key range is [lo, hi) over raw key bytes; ``None`` hi means +infinity.
+KeyRange = tuple[bytes, bytes | None]
+
+
+def ranges_overlap(a: KeyRange | None, b: KeyRange | None) -> bool:
+    """True if two key ranges intersect.  ``None`` means "no range recorded"
+    and is treated as overlapping nothing."""
+    if a is None or b is None:
+        return False
+    a_lo, a_hi = a
+    b_lo, b_hi = b
+    if (a_hi is not None and a_hi <= a_lo) or \
+            (b_hi is not None and b_hi <= b_lo):
+        return False  # empty range intersects nothing
+    below = a_hi is not None and a_hi <= b_lo
+    above = b_hi is not None and b_hi <= a_lo
+    return not (below or above)
+
+
+@dataclass
+class FreeEntry:
+    page_no: int
+    key_range: KeyRange | None
+
+
+class Freelist:
+    """In-memory freelist for one page file.
+
+    Parameters
+    ----------
+    extend:
+        Callback returning a brand-new page number by growing the file.
+    pin_count:
+        Callback ``page_no -> int`` reporting how many pins other than the
+        allocator's caller hold the page's buffer; pinned pages are not
+        recycled.
+    """
+
+    def __init__(self, extend: Callable[[], int],
+                 pin_count: Callable[[int], int] | None = None):
+        self._extend = extend
+        self._pin_count = pin_count or (lambda page_no: 0)
+        self._free: list[FreeEntry] = []
+        self._deferred: list[FreeEntry] = []
+        self.stats_extended = 0
+        self.stats_recycled = 0
+
+    # -- allocation ------------------------------------------------------
+
+    def allocate(self, key_range: KeyRange | None = None) -> int:
+        """Allocate a page, avoiding freelist entries whose recorded key
+        range overlaps *key_range* and entries still pinned elsewhere."""
+        for i, entry in enumerate(self._free):
+            if ranges_overlap(entry.key_range, key_range):
+                continue
+            if self._pin_count(entry.page_no) > 0:
+                continue
+            del self._free[i]
+            self.stats_recycled += 1
+            return entry.page_no
+        self.stats_extended += 1
+        return self._extend()
+
+    # -- freeing ------------------------------------------------------------
+
+    def free(self, page_no: int, key_range: KeyRange | None = None) -> None:
+        """Immediately recyclable free (shadow split step 3: the freed page
+        never reached stable storage)."""
+        self._check_not_listed(page_no)
+        self._free.append(FreeEntry(page_no, key_range))
+
+    def free_after_sync(self, page_no: int,
+                        key_range: KeyRange | None = None) -> None:
+        """Deferred free: the page is the durable shadow of a split and may
+        be recycled only after the next successful sync."""
+        self._check_not_listed(page_no)
+        self._deferred.append(FreeEntry(page_no, key_range))
+
+    def drain_after_sync(self) -> None:
+        """Called by the engine after every successful sync: deferred pages
+        become allocatable."""
+        self._free.extend(self._deferred)
+        self._deferred.clear()
+
+    def _check_not_listed(self, page_no: int) -> None:
+        if page_no == 0:
+            raise FreelistError("page 0 (control page) cannot be freed")
+        for entry in self._free:
+            if entry.page_no == page_no:
+                raise FreelistError(f"double free of page {page_no}")
+        for entry in self._deferred:
+            if entry.page_no == page_no:
+                raise FreelistError(f"double (deferred) free of page {page_no}")
+
+    # -- introspection / persistence -------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    @property
+    def pending(self) -> int:
+        """Entries awaiting the next sync."""
+        return len(self._deferred)
+
+    def entries(self) -> list[FreeEntry]:
+        return list(self._free)
+
+    def load_entries(self, entries: list[FreeEntry]) -> None:
+        """Install entries read from a clean-shutdown record.  The caller is
+        responsible for erasing the durable copy *before* any of these pages
+        is reallocated (Section 3.3.3)."""
+        self._free = list(entries)
+        self._deferred = []

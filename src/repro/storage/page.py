@@ -1,0 +1,290 @@
+"""Fixed-size binary pages and their header codec.
+
+Every on-disk structure in this reproduction — B-tree internal and leaf
+pages, heap pages, file control pages — is a fixed-size ``bytearray`` with
+the 64-byte header defined here.  Keeping the layout byte-exact matters for
+the paper's algorithms: *intra-page* inconsistencies are detected by looking
+at raw line-table offsets (Section 3.3.1), so a page must be a real byte
+buffer that can be captured mid-update, not a Python object graph.
+
+Header layout (little-endian, 64 bytes)::
+
+    offset  size  field
+    0       2     magic            always PAGE_MAGIC
+    2       1     page_type        PAGE_FREE / PAGE_CONTROL / ...
+    3       1     flags            FLAG_* bits
+    4       2     level            B-tree level, 0 = leaf
+    6       2     n_keys           live line-table entries
+    8       2     prev_n_keys      reorg: key count of the pre-split page
+    10      2     reserved
+    12      4     new_page         reorg: peer created by the last split;
+                                   shadow: Lehman-Yao "moved left" link
+    16      4     left_peer        B-link peer pointers (0 = none)
+    20      4     right_peer
+    24      8     sync_token       value of the global sync counter when the
+                                   page was (re)initialized by a split
+    32      8     left_peer_token  per-link sync tokens (Section 3.5.1)
+    40      8     right_peer_token
+    48      2     lower            first free byte after the line table(s)
+    50      2     upper            start of the item heap (grows downward)
+    52      2     backup_count     reorg: backup line-table entries
+    54      2     reserved2
+    56      8     lsn              used only by the WAL comparison layer
+
+The line table starts immediately after the header; each entry is a 16-bit
+offset to an item stored in the heap region at the end of the page.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from ..constants import (
+    MAX_PAGE_SIZE,
+    MIN_PAGE_SIZE,
+    PAGE_FREE,
+    PAGE_MAGIC,
+)
+from ..errors import PageCorruptError, PageError
+
+HEADER_STRUCT = struct.Struct("<HBBHHHHIIIQQQHHHHQ")
+HEADER_SIZE = HEADER_STRUCT.size  # 64
+assert HEADER_SIZE == 64
+
+# Byte offsets of individual header fields, for in-place single-field
+# updates.  The paper's crash-safe line-table insert depends on the *order*
+# in which individual header bytes hit the page image, so hot-path code
+# writes fields directly instead of re-packing the whole header.
+OFF_MAGIC = 0
+OFF_PAGE_TYPE = 2
+OFF_FLAGS = 3
+OFF_LEVEL = 4
+OFF_N_KEYS = 6
+OFF_PREV_N_KEYS = 8
+OFF_NEW_PAGE = 12
+OFF_LEFT_PEER = 16
+OFF_RIGHT_PEER = 20
+OFF_SYNC_TOKEN = 24
+OFF_LEFT_PEER_TOKEN = 32
+OFF_RIGHT_PEER_TOKEN = 40
+OFF_LOWER = 48
+OFF_UPPER = 50
+OFF_BACKUP_COUNT = 52
+OFF_LSN = 56
+
+_U8 = struct.Struct("<B")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+
+
+def get_u8(buf, offset: int) -> int:
+    return _U8.unpack_from(buf, offset)[0]
+
+
+def set_u8(buf: bytearray, offset: int, value: int) -> None:
+    _U8.pack_into(buf, offset, value)
+
+
+def get_u16(buf, offset: int) -> int:
+    return _U16.unpack_from(buf, offset)[0]
+
+
+def set_u16(buf: bytearray, offset: int, value: int) -> None:
+    _U16.pack_into(buf, offset, value)
+
+
+def get_u32(buf, offset: int) -> int:
+    return _U32.unpack_from(buf, offset)[0]
+
+
+def set_u32(buf: bytearray, offset: int, value: int) -> None:
+    _U32.pack_into(buf, offset, value)
+
+
+def get_u64(buf, offset: int) -> int:
+    return _U64.unpack_from(buf, offset)[0]
+
+
+def set_u64(buf: bytearray, offset: int, value: int) -> None:
+    _U64.pack_into(buf, offset, value)
+
+#: Size in bytes of one line-table entry (a 16-bit item offset).
+LINE_ENTRY_SIZE = 2
+_LINE_ENTRY = struct.Struct("<H")
+
+
+@dataclass
+class PageHeader:
+    """Decoded form of the 64-byte page header.
+
+    Instances are plain mutable records; :func:`write_header` serializes one
+    back into a page buffer.
+    """
+
+    magic: int = PAGE_MAGIC
+    page_type: int = PAGE_FREE
+    flags: int = 0
+    level: int = 0
+    n_keys: int = 0
+    prev_n_keys: int = 0
+    reserved: int = 0
+    new_page: int = 0
+    left_peer: int = 0
+    right_peer: int = 0
+    sync_token: int = 0
+    left_peer_token: int = 0
+    right_peer_token: int = 0
+    lower: int = HEADER_SIZE
+    upper: int = 0
+    backup_count: int = 0
+    reserved2: int = 0
+    lsn: int = 0
+
+    def pack(self) -> bytes:
+        return HEADER_STRUCT.pack(
+            self.magic, self.page_type, self.flags, self.level,
+            self.n_keys, self.prev_n_keys, self.reserved,
+            self.new_page, self.left_peer, self.right_peer,
+            self.sync_token, self.left_peer_token, self.right_peer_token,
+            self.lower, self.upper, self.backup_count, self.reserved2,
+            self.lsn,
+        )
+
+    @classmethod
+    def unpack(cls, buf: bytes | bytearray | memoryview) -> "PageHeader":
+        fields = HEADER_STRUCT.unpack_from(buf, 0)
+        return cls(*fields)
+
+
+def validate_page_size(page_size: int) -> int:
+    """Check *page_size* is in the supported range and return it."""
+    if not MIN_PAGE_SIZE <= page_size <= MAX_PAGE_SIZE:
+        raise PageError(
+            f"page size {page_size} outside supported range "
+            f"[{MIN_PAGE_SIZE}, {MAX_PAGE_SIZE}]"
+        )
+    return page_size
+
+
+def new_page(page_size: int, page_type: int = PAGE_FREE, *,
+             level: int = 0, flags: int = 0, sync_token: int = 0) -> bytearray:
+    """Allocate and format a fresh page buffer.
+
+    The item heap is empty: ``lower`` points just past the header and
+    ``upper`` points at the end of the page.
+    """
+    validate_page_size(page_size)
+    buf = bytearray(page_size)
+    header = PageHeader(
+        page_type=page_type,
+        level=level,
+        flags=flags,
+        sync_token=sync_token,
+        lower=HEADER_SIZE,
+        upper=page_size,
+    )
+    write_header(buf, header)
+    return buf
+
+
+def read_header(buf: bytes | bytearray | memoryview) -> PageHeader:
+    """Decode the header of *buf*; raises :class:`PageCorruptError` on bad
+    magic.  A fully zeroed page decodes to magic 0 and is reported as
+    corrupt — callers that tolerate zeroed pages (the inconsistency
+    detectors) should use :func:`is_zeroed` first."""
+    header = PageHeader.unpack(buf)
+    if header.magic != PAGE_MAGIC:
+        raise PageCorruptError(
+            f"bad page magic 0x{header.magic:04x} (expected 0x{PAGE_MAGIC:04x})"
+        )
+    return header
+
+
+def valid_magic(buf: bytes | bytearray | memoryview) -> bool:
+    """Cheap structural probe: does the page start with the magic number?
+
+    A zeroed (never-written) page fails this, as does recycled garbage, so
+    hot-path consistency checks use it instead of decoding the full header
+    or scanning the whole page for zeroes.
+    """
+    return _U16.unpack_from(buf, 0)[0] == PAGE_MAGIC
+
+
+def try_read_header(buf: bytes | bytearray | memoryview) -> PageHeader | None:
+    """Like :func:`read_header` but returns None instead of raising."""
+    header = PageHeader.unpack(buf)
+    if header.magic != PAGE_MAGIC:
+        return None
+    return header
+
+
+def write_header(buf: bytearray, header: PageHeader) -> None:
+    HEADER_STRUCT.pack_into(
+        buf, 0,
+        header.magic, header.page_type, header.flags, header.level,
+        header.n_keys, header.prev_n_keys, header.reserved,
+        header.new_page, header.left_peer, header.right_peer,
+        header.sync_token, header.left_peer_token, header.right_peer_token,
+        header.lower, header.upper, header.backup_count, header.reserved2,
+        header.lsn,
+    )
+
+
+def is_zeroed(buf: bytes | bytearray | memoryview) -> bool:
+    """True if the page is all zero bytes (never written / lost in crash).
+
+    The paper's detectors treat a zeroed page as the signature of a child
+    that was allocated but whose image never reached stable storage.
+    """
+    return not any(buf)
+
+
+def line_offset(index: int) -> int:
+    """Byte offset of line-table entry *index* within a page."""
+    return HEADER_SIZE + index * LINE_ENTRY_SIZE
+
+
+def get_line(buf: bytes | bytearray | memoryview, index: int) -> int:
+    """Read line-table entry *index* (an item offset)."""
+    return _LINE_ENTRY.unpack_from(buf, line_offset(index))[0]
+
+
+def set_line(buf: bytearray, index: int, item_offset: int) -> None:
+    """Write line-table entry *index*."""
+    _LINE_ENTRY.pack_into(buf, line_offset(index), item_offset)
+
+
+def free_space(header: PageHeader) -> int:
+    """Bytes available between the line table and the item heap."""
+    return header.upper - header.lower
+
+
+def used_item_bytes(buf: bytes | bytearray | memoryview,
+                    header: PageHeader, page_size: int) -> int:
+    """Bytes consumed by the item heap region."""
+    return page_size - header.upper
+
+
+def structural_check(buf: bytes | bytearray | memoryview,
+                     page_size: int) -> PageHeader:
+    """Validate gross page structure and return the decoded header.
+
+    Checks that the free-space pointers are ordered and inside the page and
+    that the line table fits under ``lower``.  Does *not* check key order —
+    that is the job of the tree-level validators.
+    """
+    header = read_header(buf)
+    if not (HEADER_SIZE <= header.lower <= header.upper <= page_size):
+        raise PageCorruptError(
+            f"bad free-space pointers lower={header.lower} "
+            f"upper={header.upper} page_size={page_size}"
+        )
+    table_end = line_offset(header.n_keys + header.backup_count)
+    if table_end > header.lower:
+        raise PageCorruptError(
+            f"line table ({header.n_keys}+{header.backup_count} entries) "
+            f"overruns lower={header.lower}"
+        )
+    return header

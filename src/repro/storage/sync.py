@@ -1,0 +1,131 @@
+"""Sync counter and sync token machinery (paper Section 3.2).
+
+The DBMS keeps one **global sync counter** in memory.  After every sync
+operation in which an index page split occurred, the counter is incremented.
+A **maximum sync counter**, guaranteed larger than the in-memory counter, is
+kept on stable storage; when the counter approaches it, a new maximum is
+chosen and written with a synchronous single-page write.  After a crash the
+counter restarts from the persisted maximum, and that restart value becomes
+the **last crash sync token**: any page whose sync token is below it was
+written before the most recent crash.
+
+A **sync token** is simply the counter's value captured at some instant and
+stored in a page header (or peer-pointer slot).  Comparing tokens answers
+the two questions the algorithms need:
+
+* "has this page been written to stable storage since it was initialized?"
+  — yes iff its token differs from the current counter (a sync must have
+  intervened);
+* "might this page's last split have been interrupted by a crash?" — yes
+  iff its token is below the last crash sync token.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..constants import SYNC_COUNTER_BATCH
+
+
+class SyncState:
+    """In-memory sync counter plus its persistence discipline.
+
+    Parameters
+    ----------
+    persist_max:
+        Callback ``(new_max: int) -> None`` that durably records a new
+        maximum sync counter (a synchronous single-page write in the
+        engine).  Called whenever the counter crosses the previously
+        persisted maximum minus one.
+    counter / max_counter / last_crash_token:
+        Initial values, normally produced by
+        :meth:`after_crash` / :meth:`after_clean_shutdown`.
+    """
+
+    def __init__(self, persist_max: Callable[[int], None], *,
+                 counter: int = 1,
+                 max_counter: int = 0,
+                 last_crash_token: int = 0,
+                 batch: int = SYNC_COUNTER_BATCH):
+        self._persist_max = persist_max
+        self._batch = batch
+        self.counter = counter
+        self.max_counter = max_counter
+        self.last_crash_token = last_crash_token
+        #: set by trees when a split/merge happens; consulted by the engine
+        #: to decide whether the next sync increments the counter
+        self.split_since_sync = False
+        self._ensure_headroom()
+
+    # -- construction helpers ----------------------------------------------
+
+    @classmethod
+    def fresh(cls, persist_max: Callable[[int], None],
+              batch: int = SYNC_COUNTER_BATCH) -> "SyncState":
+        """State for a brand-new database: counter 1, no crash yet."""
+        return cls(persist_max, counter=1, max_counter=0,
+                   last_crash_token=0, batch=batch)
+
+    @classmethod
+    def after_crash(cls, persist_max: Callable[[int], None],
+                    persisted_max: int,
+                    batch: int = SYNC_COUNTER_BATCH) -> "SyncState":
+        """Recovery initialization: restart the counter from the persisted
+        maximum; that value becomes the last crash sync token."""
+        return cls(persist_max, counter=persisted_max,
+                   max_counter=persisted_max, last_crash_token=persisted_max,
+                   batch=batch)
+
+    @classmethod
+    def after_clean_shutdown(cls, persist_max: Callable[[int], None],
+                             counter: int, last_crash_token: int,
+                             persisted_max: int,
+                             batch: int = SYNC_COUNTER_BATCH) -> "SyncState":
+        """Restart from a clean shutdown record: both the counter and the
+        last crash token survive verbatim."""
+        return cls(persist_max, counter=counter, max_counter=persisted_max,
+                   last_crash_token=last_crash_token, batch=batch)
+
+    # -- token operations ---------------------------------------------------
+
+    def token(self) -> int:
+        """Current sync token (the counter's present value)."""
+        return self.counter
+
+    def note_split(self) -> None:
+        """Record that an index split (or merge) occurred; the next sync
+        will advance the counter."""
+        self.split_since_sync = True
+
+    def on_sync_complete(self) -> None:
+        """Called by the engine after a successful sync.  Advances the
+        counter iff a split occurred since the previous sync, maintaining
+        the invariant that two pages with equal tokens were never separated
+        by a completed sync."""
+        if self.split_since_sync:
+            self.counter += 1
+            self.split_since_sync = False
+            self._ensure_headroom()
+
+    def synced_since_init(self, page_token: int) -> bool:
+        """True if a sync has completed since the page holding *page_token*
+        was initialized (paper: "P's sync token is different from the
+        current global sync counter")."""
+        return page_token != self.counter
+
+    def predates_last_crash(self, page_token: int) -> bool:
+        """True if the page was last initialized before the most recent
+        crash (its split may have been interrupted)."""
+        return page_token < self.last_crash_token
+
+    # -- persistence of the maximum ------------------------------------------
+
+    def _ensure_headroom(self) -> None:
+        if self.counter >= self.max_counter:
+            self.max_counter = self.counter + self._batch
+            self._persist_max(self.max_counter)
+
+    def shutdown_record(self) -> tuple[int, int, int]:
+        """Values ``(counter, last_crash_token, max_counter)`` to persist on
+        clean shutdown."""
+        return self.counter, self.last_crash_token, self.max_counter

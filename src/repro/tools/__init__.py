@@ -1,0 +1,5 @@
+"""Operational tools: the offline index verifier."""
+
+from .fsck import FsckReport, fsck_tree
+
+__all__ = ["FsckReport", "fsck_tree"]

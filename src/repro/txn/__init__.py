@@ -1,0 +1,26 @@
+"""POSTGRES-style no-overwrite transaction substrate.
+
+Heap relations with ``(xmin, xmax)`` tuple versioning, the sync-then-flip
+commit protocol, the durable transaction-status array, visibility checks,
+and the :class:`IndexedTable` glue that makes the paper's guarantee
+end-to-end.
+"""
+
+from .heap import HeapRelation, HeapTuple
+from .table import IndexedTable
+from .transaction import Transaction, TransactionManager
+from .visibility import tuple_visible
+from .xidlog import ABORTED, COMMITTED, IN_PROGRESS, XidLog
+
+__all__ = [
+    "ABORTED",
+    "COMMITTED",
+    "HeapRelation",
+    "HeapTuple",
+    "IN_PROGRESS",
+    "IndexedTable",
+    "Transaction",
+    "TransactionManager",
+    "XidLog",
+    "tuple_visible",
+]

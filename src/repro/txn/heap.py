@@ -1,0 +1,173 @@
+"""No-overwrite heap relations (the POSTGRES storage system, [13]).
+
+Tuples carry ``(xmin, xmax)`` transaction ids in their headers.  Inserting
+writes a new tuple version; deleting stamps ``xmax`` on the existing
+version; updating is delete-then-insert.  Old versions are never
+overwritten, which is what lets POSTGRES recover by simply ignoring the
+versions whose creating transaction never committed — no log, no undo.
+
+Tuple layout on a heap page (items addressed by the page line table)::
+
+    offset  size  field
+    0       4     xmin   creating transaction
+    4       4     xmax   deleting transaction (0 = live)
+    8       2     payload length
+    10      ...   payload bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..constants import PAGE_HEAP
+from ..errors import PageFullError, TreeError
+from ..storage import get_line, is_zeroed, try_read_header
+from ..storage.engine import StorageEngine
+from ..storage.pagefile import PageFile
+from ..core.keys import TID
+from ..core.nodeview import NodeView
+
+_TUPLE_HEAD = struct.Struct("<IIH")
+TUPLE_OVERHEAD = _TUPLE_HEAD.size  # 10
+
+
+@dataclass
+class HeapTuple:
+    """One tuple version as read from a heap page."""
+
+    tid: TID
+    xmin: int
+    xmax: int
+    payload: bytes
+
+    @property
+    def deleted(self) -> bool:
+        return self.xmax != 0
+
+
+class HeapRelation:
+    """An append-only heap over one page file."""
+
+    def __init__(self, engine: StorageEngine, file: PageFile):
+        self.engine = engine
+        self.file = file
+        self.page_size = file.page_size
+        self._insert_page: int | None = None
+
+    @classmethod
+    def create(cls, engine: StorageEngine, name: str) -> "HeapRelation":
+        file = engine.create_file(name)
+        return cls(engine, file)
+
+    @classmethod
+    def open(cls, engine: StorageEngine, name: str) -> "HeapRelation":
+        return cls(engine, engine.open_file(name))
+
+    # -- writes ------------------------------------------------------------
+
+    def insert(self, payload: bytes, xid: int) -> TID:
+        """Append a new tuple version stamped ``xmin=xid``; returns its
+        TID.  The bytes reach stable storage at the next sync."""
+        item = _TUPLE_HEAD.pack(xid, 0, len(payload)) + payload
+        page_no = self._pick_insert_page(len(item))
+        buf = self.file.pin(page_no)
+        try:
+            view = NodeView(buf.data, self.page_size)
+            line = view.n_keys
+            view.insert_item(line, item)
+            self.file.mark_dirty(buf)
+            return TID(page_no, line)
+        finally:
+            self.file.unpin(buf)
+
+    def delete(self, tid: TID, xid: int) -> None:
+        """Stamp ``xmax=xid`` on the version at *tid*."""
+        buf = self.file.pin(tid.page_no)
+        try:
+            view = NodeView(buf.data, self.page_size)
+            if tid.line >= view.n_keys:
+                raise TreeError(f"no tuple at {tid}")
+            offset = get_line(buf.data, tid.line)
+            xmin, xmax, length = _TUPLE_HEAD.unpack_from(buf.data, offset)
+            if xmax != 0:
+                raise TreeError(f"tuple at {tid} already deleted by {xmax}")
+            _TUPLE_HEAD.pack_into(buf.data, offset, xmin, xid, length)
+            self.file.mark_dirty(buf)
+        finally:
+            self.file.unpin(buf)
+
+    def update(self, tid: TID, payload: bytes, xid: int) -> TID:
+        """No-overwrite update: stamp the old version, append a new one."""
+        self.delete(tid, xid)
+        return self.insert(payload, xid)
+
+    # -- reads --------------------------------------------------------------
+
+    def fetch(self, tid: TID) -> HeapTuple | None:
+        """The raw tuple version at *tid*, or None if the slot does not
+        exist (e.g. an index key left dangling by an uncommitted insert
+        whose heap page was never written — the case the paper's storage
+        system 'detects and ignores')."""
+        if tid.page_no >= self.file.n_pages:
+            return None
+        buf = self.file.pin(tid.page_no)
+        try:
+            if is_zeroed(buf.data) or try_read_header(buf.data) is None:
+                return None
+            view = NodeView(buf.data, self.page_size)
+            if view.page_type != PAGE_HEAP or tid.line >= view.n_keys:
+                return None
+            offset = get_line(buf.data, tid.line)
+            xmin, xmax, length = _TUPLE_HEAD.unpack_from(buf.data, offset)
+            start = offset + TUPLE_OVERHEAD
+            payload = bytes(buf.data[start: start + length])
+            return HeapTuple(tid, xmin, xmax, payload)
+        finally:
+            self.file.unpin(buf)
+
+    def scan(self) -> Iterator[HeapTuple]:
+        """Every tuple version in the relation, in physical order."""
+        for page_no in range(1, self.file.n_pages):
+            buf = self.file.pin(page_no)
+            try:
+                if is_zeroed(buf.data) or try_read_header(buf.data) is None:
+                    continue
+                view = NodeView(buf.data, self.page_size)
+                if view.page_type != PAGE_HEAP:
+                    continue
+                for line in range(view.n_keys):
+                    offset = get_line(buf.data, line)
+                    xmin, xmax, length = _TUPLE_HEAD.unpack_from(
+                        buf.data, offset)
+                    start = offset + TUPLE_OVERHEAD
+                    yield HeapTuple(TID(page_no, line), xmin, xmax,
+                                    bytes(buf.data[start: start + length]))
+            finally:
+                self.file.unpin(buf)
+
+    # -- internals ------------------------------------------------------------
+
+    def _pick_insert_page(self, item_size: int) -> int:
+        if self._insert_page is not None:
+            buf = self.file.pin(self._insert_page)
+            try:
+                view = NodeView(buf.data, self.page_size)
+                if view.can_fit(item_size):
+                    return self._insert_page
+            finally:
+                self.file.unpin(buf)
+        page_no = self.file.allocate()
+        buf = self.file.pin(page_no)
+        try:
+            view = NodeView(buf.data, self.page_size)
+            view.init_page(PAGE_HEAP)
+            self.file.mark_dirty(buf)
+            if not view.can_fit(item_size):
+                raise PageFullError(
+                    f"tuple of {item_size} bytes exceeds page capacity")
+        finally:
+            self.file.unpin(buf)
+        self._insert_page = page_no
+        return page_no

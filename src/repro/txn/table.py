@@ -1,0 +1,93 @@
+"""An indexed table: heap relation + recoverable index + visibility.
+
+This is the layer a POSTGRES user would actually see, and the layer at
+which the paper's guarantee becomes end-to-end: after any crash, a
+committed row is found through the index, and an index key left behind by
+an uncommitted insert resolves to an invisible tuple and is filtered out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import TREE_CLASSES
+from ..core.btree_base import BLinkTree
+from ..errors import KeyNotFoundError
+from ..storage.engine import StorageEngine
+from .heap import HeapRelation
+from .transaction import Transaction, TransactionManager
+from .visibility import tuple_visible
+
+
+class IndexedTable:
+    """One heap relation with one key index over it."""
+
+    def __init__(self, engine: StorageEngine, txns: TransactionManager,
+                 heap: HeapRelation, index: BLinkTree):
+        self.engine = engine
+        self.txns = txns
+        self.heap = heap
+        self.index = index
+
+    @classmethod
+    def create(cls, engine: StorageEngine, txns: TransactionManager,
+               name: str, *, index_kind: str = "shadow",
+               codec: str = "uint32") -> "IndexedTable":
+        heap = HeapRelation.create(engine, f"{name}.heap")
+        index = TREE_CLASSES[index_kind].create(engine, f"{name}.idx",
+                                                codec=codec)
+        return cls(engine, txns, heap, index)
+
+    @classmethod
+    def open(cls, engine: StorageEngine, txns: TransactionManager,
+             name: str) -> "IndexedTable":
+        heap = HeapRelation.open(engine, f"{name}.heap")
+        meta_kind = cls._peek_kind(engine, f"{name}.idx")
+        index = TREE_CLASSES[meta_kind].open(engine, f"{name}.idx")
+        return cls(engine, txns, heap, index)
+
+    @staticmethod
+    def _peek_kind(engine: StorageEngine, file_name: str) -> str:
+        from ..core.meta import MetaView
+        file = engine.open_file(file_name)
+        buf = file.pin_meta()
+        try:
+            return MetaView(buf.data, file.page_size).tree_kind
+        finally:
+            file.unpin(buf)
+
+    # -- operations (within a transaction) ---------------------------------
+
+    def insert(self, txn: Transaction, key, payload: bytes) -> None:
+        tid = self.heap.insert(payload, txn.xid)
+        self.index.insert(key, tid)
+
+    def delete(self, txn: Transaction, key) -> None:
+        """Stamp the visible version deleted.  The index key stays (the
+        storage system relies on visibility, not on index removal)."""
+        tid = self.index.lookup(key)
+        if tid is None:
+            raise KeyNotFoundError(f"key {key!r} not found")
+        tup = self.heap.fetch(tid)
+        if not tuple_visible(tup, self.txns, txn.xid):
+            raise KeyNotFoundError(f"key {key!r} not visible")
+        self.heap.delete(tid, txn.xid)
+
+    def get(self, key, *, xid: int | None = None) -> bytes | None:
+        """The visible payload for *key*, or None.  Dangling or
+        uncommitted index entries are detected and ignored."""
+        tid = self.index.lookup(key)
+        if tid is None:
+            return None
+        tup = self.heap.fetch(tid)
+        if not tuple_visible(tup, self.txns, xid):
+            return None
+        return tup.payload
+
+    def scan(self, lo=None, hi=None, *,
+             xid: int | None = None) -> Iterator[tuple[object, bytes]]:
+        """Visible rows in key order via the index's peer-pointer scan."""
+        for key, tid in self.index.range_scan(lo, hi):
+            tup = self.heap.fetch(tid)
+            if tuple_visible(tup, self.txns, xid):
+                yield key, tup.payload

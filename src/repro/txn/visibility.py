@@ -1,0 +1,40 @@
+"""Tuple visibility — why lost index recovery only needs *valid* keys.
+
+"The POSTGRES storage system can detect and ignore records pointed to by
+invalid keys, so recovery only needs to ensure that valid keys are not
+lost" (Section 2).  This module is that detector: a tuple version is
+visible iff its creating transaction committed and no committed
+transaction has deleted it.  An index key pointing at an uncommitted (or
+nonexistent) tuple is simply filtered out — which is what makes it safe
+for the recovery algorithms to *re-expose* keys from pre-split page
+images, and never acceptable for them to lose a committed one.
+"""
+
+from __future__ import annotations
+
+from .heap import HeapTuple
+from .transaction import TransactionManager
+
+
+def tuple_visible(tup: HeapTuple | None,
+                  txns: TransactionManager,
+                  current_xid: int | None = None) -> bool:
+    """Read-committed visibility with own-transaction reads.
+
+    * ``None`` (dangling TID) is invisible;
+    * a version created by an uncommitted foreign transaction is
+      invisible;
+    * a version deleted by a committed transaction (or by the reader) is
+      invisible;
+    * the reader sees its own uncommitted inserts and deletes.
+    """
+    if tup is None:
+        return False
+    created_by_me = current_xid is not None and tup.xmin == current_xid
+    if not created_by_me and not txns.is_committed(tup.xmin):
+        return False
+    if tup.xmax:
+        deleted_by_me = current_xid is not None and tup.xmax == current_xid
+        if deleted_by_me or txns.is_committed(tup.xmax):
+            return False
+    return True

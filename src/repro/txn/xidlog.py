@@ -1,0 +1,66 @@
+"""Durable transaction-status log (POSTGRES' ``pg_log`` analogue).
+
+POSTGRES decides visibility by consulting a per-transaction status array:
+two bits per transaction id, flipped to *committed* only after every page
+the transaction touched is safely on stable storage.  The flip itself is
+one atomic single-page write — that write **is** the commit point.
+
+The array lives in its own page file; page ``k`` holds the status bits of
+xids ``[k * xids_per_page, (k+1) * xids_per_page)``.  Status values:
+
+* ``IN_PROGRESS`` (0) — also what a crash leaves behind for transactions
+  that never committed: absence of a commit bit is an abort (presumed
+  abort), which is exactly why POSTGRES needs no undo log;
+* ``COMMITTED`` (1);
+* ``ABORTED`` (2) — an explicit abort record (optional; equivalent to
+  never writing one).
+"""
+
+from __future__ import annotations
+
+from ..errors import TransactionError
+from ..storage.pagefile import PageFile
+
+IN_PROGRESS = 0
+COMMITTED = 1
+ABORTED = 2
+
+_BITS = 2
+_MASK = 0b11
+
+
+class XidLog:
+    """Two-bit transaction status array over one page file."""
+
+    def __init__(self, file: PageFile):
+        self._file = file
+        self._page_size = file.page_size
+        # page 0 is reserved by PageFile; status pages start at 1
+        self._xids_per_page = self._page_size * (8 // _BITS)
+
+    def _locate(self, xid: int) -> tuple[int, int, int]:
+        if xid < 1:
+            raise TransactionError(f"invalid xid {xid}")
+        index = xid - 1
+        page_no = 1 + index // self._xids_per_page
+        within = index % self._xids_per_page
+        return page_no, within // 4, (within % 4) * _BITS
+
+    def get_state(self, xid: int) -> int:
+        page_no, byte_off, bit_off = self._locate(xid)
+        data = self._file.disk.read_page(page_no)
+        return (data[byte_off] >> bit_off) & _MASK
+
+    def set_state(self, xid: int, state: int) -> None:
+        """Durably record a transaction's fate with one atomic page
+        write.  For ``COMMITTED`` this is the commit point."""
+        if state not in (IN_PROGRESS, COMMITTED, ABORTED):
+            raise TransactionError(f"invalid state {state}")
+        page_no, byte_off, bit_off = self._locate(xid)
+        data = bytearray(self._file.disk.read_page(page_no))
+        data[byte_off] &= ~(_MASK << bit_off)
+        data[byte_off] |= state << bit_off
+        self._file.disk.write_page(page_no, bytes(data))
+
+    def is_committed(self, xid: int) -> bool:
+        return self.get_state(xid) == COMMITTED

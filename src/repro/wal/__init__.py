@@ -1,0 +1,24 @@
+"""WAL comparison substrate (paper Section 4).
+
+Physical (ARIES/IM-style) key logging over the baseline tree versus
+logical operation logging over the recoverable trees, plus redo drivers
+and the corrupted-key propagation probe.
+"""
+
+from .log import LogRecord, RecordKind, StableLog
+from .logical import LogicalLoggingTree, decode_op, encode_op
+from .physical import PhysicalLoggingTree
+from .recovery import RedoStats, logical_redo, physical_records_containing
+
+__all__ = [
+    "LogRecord",
+    "LogicalLoggingTree",
+    "PhysicalLoggingTree",
+    "RecordKind",
+    "RedoStats",
+    "StableLog",
+    "decode_op",
+    "encode_op",
+    "logical_redo",
+    "physical_records_containing",
+]

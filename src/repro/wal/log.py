@@ -1,0 +1,100 @@
+"""A write-ahead log substrate for the Section 4 comparison.
+
+The paper argues that a conventional WAL data manager could adopt the
+shadow/reorg index techniques to switch index updates from *physical*
+logging (every key moved by a split is logged as a delete plus an insert)
+to *logical* logging (only the user-level insert/delete is logged).  To
+measure that claim we need an actual log: append-only records with LSNs,
+serialized to bytes so volumes are comparable, and a redo driver.
+
+The log itself is a simple in-memory stable log (a real file adds nothing
+to the comparison); ``bytes_written`` counts serialized record sizes
+including per-record framing.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import WALError
+
+_FRAME = struct.Struct("<QIBH")  # lsn, xid, kind, payload length
+
+
+class RecordKind(enum.IntEnum):
+    """Log record types used by both logging disciplines."""
+
+    # logical: one record per user-level index operation
+    OP_INSERT = 1
+    OP_DELETE = 2
+    # physical (ARIES/IM-style): key-granularity page changes
+    KEY_ADD = 3       # key added to a page
+    KEY_REMOVE = 4    # key removed from a page
+    PAGE_FORMAT = 5   # page initialized (split allocates)
+    # transaction control
+    COMMIT = 6
+    ABORT = 7
+    CHECKPOINT = 8
+
+
+@dataclass
+class LogRecord:
+    lsn: int
+    xid: int
+    kind: RecordKind
+    payload: bytes
+
+    def serialized_size(self) -> int:
+        return _FRAME.size + len(self.payload)
+
+    def serialize(self) -> bytes:
+        return _FRAME.pack(self.lsn, self.xid, int(self.kind),
+                           len(self.payload)) + self.payload
+
+
+class StableLog:
+    """Append-only log with LSNs and byte accounting."""
+
+    def __init__(self):
+        self._records: list[LogRecord] = []
+        self._next_lsn = 1
+        self.bytes_written = 0
+        self.forces = 0
+
+    def append(self, xid: int, kind: RecordKind, payload: bytes) -> int:
+        record = LogRecord(self._next_lsn, xid, kind, payload)
+        self._records.append(record)
+        self._next_lsn += 1
+        self.bytes_written += record.serialized_size()
+        return record.lsn
+
+    def force(self) -> None:
+        """Durability barrier (commit-time log force)."""
+        self.forces += 1
+
+    def records(self, from_lsn: int = 1) -> Iterator[LogRecord]:
+        for record in self._records:
+            if record.lsn >= from_lsn:
+                yield record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def last_lsn(self) -> int:
+        return self._next_lsn - 1
+
+    def truncate_before(self, lsn: int) -> None:
+        """Discard records below *lsn* (a completed checkpoint)."""
+        if lsn > self._next_lsn:
+            raise WALError(f"truncate beyond end of log ({lsn})")
+        self._records = [r for r in self._records if r.lsn >= lsn]
+
+    def count(self, kind: RecordKind) -> int:
+        return sum(1 for r in self._records if r.kind == kind)
+
+    def bytes_of(self, kind: RecordKind) -> int:
+        return sum(r.serialized_size() for r in self._records
+                   if r.kind == kind)

@@ -1,0 +1,111 @@
+"""Physical (ARIES/IM-style) index logging over the traditional tree.
+
+"A conventional WAL-based storage manager uses physical logging.  A page
+split causes every key moved in the split to be logged as a delete from
+the original page and an insert in the new sibling page" (Section 4).
+
+:class:`PhysicalLoggingTree` instruments the baseline
+:class:`~repro.core.normal.NormalBLinkTree`: every user insert/delete logs
+a key-granularity record, and every split additionally logs one
+``KEY_REMOVE`` plus one ``KEY_ADD`` for each moved key — *reading the key
+bytes back off the page*, which is precisely how a software-corrupted key
+propagates into a physical log (the failure mode Section 4 warns about).
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..core import items as I
+from ..core.btree_base import PathEntry
+from ..core.keys import TID
+from ..core.normal import NormalBLinkTree
+from .log import RecordKind, StableLog
+
+_KEYREC = struct.Struct("<IH")  # page_no, key length (key + extra follow)
+
+
+def _key_payload(page_no: int, key: bytes, extra: bytes = b"") -> bytes:
+    return _KEYREC.pack(page_no, len(key)) + key + extra
+
+
+class PhysicalLoggingTree:
+    """The baseline tree plus ARIES/IM-style physical index logging."""
+
+    def __init__(self, tree: NormalBLinkTree, log: StableLog | None = None):
+        if not isinstance(tree, _SplitLoggingNormalTree):
+            _SplitLoggingNormalTree.adopt(tree, self)
+        tree._wal_wrapper = self
+        self.tree = tree
+        self.log = log if log is not None else StableLog()
+        self.current_xid = 0
+
+    @classmethod
+    def create(cls, engine, name: str, *, codec: str = "uint32",
+               log: StableLog | None = None) -> "PhysicalLoggingTree":
+        return cls(NormalBLinkTree.create(engine, name, codec=codec), log)
+
+    # -- user operations ---------------------------------------------------
+
+    def insert(self, value, tid: TID) -> None:
+        key = self.tree.codec.encode(value)
+        self.log.append(self.current_xid, RecordKind.KEY_ADD,
+                        _key_payload(0, key, tid.pack()))
+        self.tree.insert(value, tid)
+
+    def delete(self, value) -> None:
+        key = self.tree.codec.encode(value)
+        self.log.append(self.current_xid, RecordKind.KEY_REMOVE,
+                        _key_payload(0, key))
+        self.tree.delete(value)
+
+    def lookup(self, value):
+        return self.tree.lookup(value)
+
+    def commit(self) -> None:
+        self.log.append(self.current_xid, RecordKind.COMMIT, b"")
+        self.log.force()
+        self.tree.engine.sync()
+
+    # -- split instrumentation -----------------------------------------------
+
+    def log_split(self, old_page: int, new_page: int,
+                  moved_items: list[bytes], leaf: bool) -> None:
+        """One delete + one insert record per key moved by the split; the
+        key bytes come straight off the page image."""
+        self.log.append(self.current_xid, RecordKind.PAGE_FORMAT,
+                        struct.pack("<I", new_page))
+        for blob in moved_items:
+            key = I.item_key(blob, 0)
+            self.log.append(self.current_xid, RecordKind.KEY_REMOVE,
+                            _key_payload(old_page, key))
+            self.log.append(self.current_xid, RecordKind.KEY_ADD,
+                            _key_payload(new_page, key))
+
+
+class _SplitLoggingNormalTree(NormalBLinkTree):
+    """Baseline tree that reports every split's moved keys to the WAL
+    wrapper before performing it."""
+
+    _wal_wrapper: PhysicalLoggingTree | None = None
+
+    @classmethod
+    def adopt(cls, tree: NormalBLinkTree,
+              wrapper: PhysicalLoggingTree) -> NormalBLinkTree:
+        tree.__class__ = cls
+        tree._wal_wrapper = wrapper
+        return tree
+
+    def _split_and_insert(self, path: list[PathEntry], idx: int,
+                          item: bytes, key: bytes) -> None:
+        entry = path[idx]
+        view = entry.view
+        blobs = view.items()
+        slot, _found = view.search(key)
+        blobs.insert(slot, item)
+        h = len(blobs) // 2
+        moved = blobs[h:]
+        if self._wal_wrapper is not None:
+            self._wal_wrapper.log_split(
+                entry.page_no, self.file.n_pages, moved, view.is_leaf)
+        super()._split_and_insert(path, idx, item, key)

@@ -1,0 +1,93 @@
+"""Key workload generators for benchmarks and tests.
+
+The paper's Table 1 workload is "four-byte keys ... added in ascending
+order so as to give worst-case split performance", then "8,000 random
+keys ... uniformly distributed throughout the range represented in the
+index".  Additional orders (descending, random permutation, skewed,
+duplicate-heavy) feed the extension benchmarks and property tests.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Sequence
+
+from ..core.keys import UInt32Codec, make_unique
+
+
+def ascending(n: int, start: int = 0, step: int = 1) -> Iterator[int]:
+    """The paper's worst-case insertion order."""
+    return iter(range(start, start + n * step, step))
+
+
+def descending(n: int, start: int | None = None,
+               step: int = 1) -> Iterator[int]:
+    if start is None:
+        start = n * step
+    return iter(range(start, start - n * step, -step))
+
+
+def random_permutation(n: int, seed: int = 0) -> list[int]:
+    """Every key in [0, n), shuffled — the classic ~69 % fill workload."""
+    keys = list(range(n))
+    random.Random(seed).shuffle(keys)
+    return keys
+
+
+def uniform_lookups(n_lookups: int, key_range: int,
+                    seed: int = 0) -> list[int]:
+    """The paper's lookup workload: uniformly distributed keys throughout
+    the range represented in the index."""
+    rng = random.Random(seed)
+    return [rng.randrange(key_range) for _ in range(n_lookups)]
+
+
+def skewed(n: int, *, hot_fraction: float = 0.1,
+           hot_probability: float = 0.9, key_range: int | None = None,
+           seed: int = 0) -> list[int]:
+    """Zipf-ish: *hot_probability* of draws land in the first
+    *hot_fraction* of the key space.  Returns distinct keys."""
+    if key_range is None:
+        key_range = max(n * 4, 16)
+    rng = random.Random(seed)
+    hot_limit = max(int(key_range * hot_fraction), 1)
+    seen: set[int] = set()
+    out: list[int] = []
+    while len(out) < n:
+        if rng.random() < hot_probability:
+            key = rng.randrange(hot_limit)
+        else:
+            key = rng.randrange(hot_limit, key_range)
+        if key not in seen:
+            seen.add(key)
+            out.append(key)
+    return out
+
+
+def duplicate_values(n: int, *, distinct: int = 100,
+                     seed: int = 0) -> list[bytes]:
+    """Duplicate-heavy workload already rewritten as unique
+    ``<value, object_id>`` composites (paper Section 2): *n* keys over
+    only *distinct* underlying values."""
+    rng = random.Random(seed)
+    codec = UInt32Codec()
+    return [make_unique(codec.encode(rng.randrange(distinct)), oid)
+            for oid in range(n)]
+
+
+def interleaved_batches(orders: Sequence[Sequence[int]],
+                        batch: int = 10) -> Iterator[int]:
+    """Round-robin merge of several key streams in batches — models
+    concurrent loaders hitting one index."""
+    iters = [iter(o) for o in orders]
+    alive = list(range(len(iters)))
+    while alive:
+        for idx in list(alive):
+            emitted = 0
+            for key in iters[idx]:
+                yield key
+                emitted += 1
+                if emitted >= batch:
+                    break
+            if emitted < batch:
+                alive.remove(idx)

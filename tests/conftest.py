@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite.
+
+Most tree tests are parametrized over all four index kinds via the
+``tree_kind`` fixture; crash tests build engines with small pages so a few
+hundred keys produce multi-level trees.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import TREE_CLASSES, StorageEngine, TID
+
+SMALL_PAGE = 512
+ALL_KINDS = ("normal", "shadow", "reorg", "hybrid")
+RECOVERABLE_KINDS = ("shadow", "reorg", "hybrid")
+
+
+@pytest.fixture
+def engine():
+    return StorageEngine.create(page_size=SMALL_PAGE, seed=1234)
+
+
+@pytest.fixture(params=ALL_KINDS)
+def tree_kind(request):
+    return request.param
+
+
+@pytest.fixture(params=RECOVERABLE_KINDS)
+def recoverable_kind(request):
+    return request.param
+
+
+@pytest.fixture
+def tree(engine, tree_kind):
+    return TREE_CLASSES[tree_kind].create(engine, "ix", codec="uint32")
+
+
+@pytest.fixture
+def recoverable_tree(engine, recoverable_kind):
+    return TREE_CLASSES[recoverable_kind].create(engine, "ix",
+                                                 codec="uint32")
+
+
+def tid_for(i: int) -> TID:
+    """Deterministic synthetic TID for key *i*."""
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+def fill_tree(tree, keys, *, sync_every: int = 64):
+    """Insert *keys* with periodic syncs; returns the key list."""
+    keys = list(keys)
+    for count, key in enumerate(keys):
+        tree.insert(key, tid_for(key if isinstance(key, int) else count))
+        if (count + 1) % sync_every == 0:
+            tree.engine.sync()
+    tree.engine.sync()
+    return keys

@@ -1,0 +1,110 @@
+"""Delete-side structure management: empty-page reclamation, root
+collapse (the Lanin-Shasha-style merge mechanism)."""
+
+import pytest
+
+from repro import TID, TREE_CLASSES
+from repro.core.nodeview import NodeView
+
+from ..conftest import SMALL_PAGE, fill_tree, tid_for
+
+
+def reachable_pages(tree):
+    pages = set()
+    stack = [tree._root_page()]
+    while stack:
+        page_no = stack.pop()
+        if page_no in pages or page_no == 0:
+            continue
+        pages.add(page_no)
+        buf = tree.file.pin(page_no)
+        view = NodeView(buf.data, tree.page_size)
+        try:
+            if not view.is_leaf:
+                stack.extend(view.child_at(i) for i in range(view.n_keys))
+        finally:
+            tree.file.unpin(buf)
+    return pages
+
+
+def test_emptied_leaf_is_unlinked_and_freed(tree):
+    fill_tree(tree, range(400))
+    pages_with_keys = reachable_pages(tree)
+    # delete a contiguous run to empty at least one whole leaf
+    for key in range(100, 200):
+        tree.delete(key)
+    tree.engine.sync()
+    remaining = reachable_pages(tree)
+    assert len(remaining) < len(pages_with_keys)
+    pairs = tree.check()
+    values = {int.from_bytes(k, "big") for k, _ in pairs}
+    assert values == set(range(100)) | set(range(200, 400))
+
+
+def test_delete_everything_collapses_to_single_leaf(tree):
+    fill_tree(tree, range(400))
+    assert tree.height >= 2
+    for key in range(400):
+        tree.delete(key)
+        if key % 64 == 0:
+            tree.engine.sync()
+    tree.engine.sync()
+    assert tree.check() == []
+    assert tree.height == 1
+    # the tree is still usable
+    tree.insert(7, TID(1, 1))
+    assert tree.lookup(7) == TID(1, 1)
+
+
+def test_freed_pages_are_recycled(tree):
+    fill_tree(tree, range(400))
+    for key in range(400):
+        tree.delete(key)
+    tree.engine.sync()
+    recycled_before = tree.file.freelist.stats_recycled
+    pages_before = tree.file.n_pages
+    fill_tree(tree, range(1000, 1400))
+    # growth must reuse freed pages rather than only extending
+    grew = tree.file.n_pages - pages_before
+    recycled = tree.file.freelist.stats_recycled - recycled_before
+    assert recycled > 0
+    assert grew < 30
+
+
+def test_scan_correct_after_heavy_deletes(tree):
+    fill_tree(tree, range(500))
+    alive = set(range(500))
+    for key in list(range(0, 500, 2)) + list(range(1, 250, 2)):
+        tree.delete(key)
+        alive.discard(key)
+    tree.engine.sync()
+    assert [v for v, _ in tree.range_scan()] == sorted(alive)
+
+
+def test_delete_reinsert_cycles_stay_consistent(tree):
+    fill_tree(tree, range(300))
+    for cycle in range(3):
+        for key in range(0, 300, 3):
+            tree.delete(key)
+        tree.engine.sync()
+        for key in range(0, 300, 3):
+            tree.insert(key, tid_for(key))
+        tree.engine.sync()
+    assert len(tree.check()) == 300
+
+
+@pytest.mark.parametrize("kind", ["shadow", "reorg"])
+def test_slot_zero_reclamation_keeps_routing(engine, kind):
+    """Emptying the leftmost child exercises the absorb-into-slot-0 path;
+    every remaining key must stay reachable."""
+    tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+    fill_tree(tree, range(300))
+    # empty the leftmost leaf by deleting the smallest keys
+    for key in range(80):
+        tree.delete(key)
+    tree.engine.sync()
+    pairs = tree.check()
+    assert {int.from_bytes(k, "big") for k, _ in pairs} == \
+        set(range(80, 300))
+    for probe in (80, 150, 299):
+        assert tree.lookup(probe) == tid_for(probe)

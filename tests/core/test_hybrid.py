@@ -1,0 +1,107 @@
+"""The hybrid tree: shadow leaves under reorg internals."""
+
+import pytest
+
+from repro import HybridBLinkTree, StorageEngine
+from repro.core.nodeview import NodeView
+
+from ..conftest import fill_tree, tid_for
+
+PAGE = 512
+
+
+@pytest.fixture
+def engine():
+    return StorageEngine.create(page_size=PAGE, seed=7)
+
+
+@pytest.fixture
+def tree(engine):
+    return HybridBLinkTree.create(engine, "ix", codec="uint32")
+
+
+def test_item_layout_per_level(tree):
+    """Level 1 pages carry prevPtr triples (they parent shadow-split
+    leaves); level >= 2 pages carry plain pairs."""
+    fill_tree(tree, range(2500), sync_every=100)
+    assert tree.height >= 3
+    seen_levels = {}
+    stack = [tree._root_page()]
+    while stack:
+        page_no = stack.pop()
+        buf = tree.file.pin(page_no)
+        view = NodeView(buf.data, PAGE)
+        try:
+            seen_levels.setdefault(view.level, view.shadow_items)
+            assert view.shadow_items == (view.level == 1)
+            if not view.is_leaf:
+                stack.extend(view.child_at(i) for i in range(view.n_keys))
+        finally:
+            tree.file.unpin(buf)
+    assert seen_levels[0] is False
+    assert seen_levels[1] is True
+    assert seen_levels[max(seen_levels)] is False
+
+
+def test_leaf_splits_are_shadow_style(tree):
+    """A leaf split allocates two fresh pages (Pa and Pb) rather than
+    remapping, and the parent entry gains a prevPtr to the old leaf."""
+    fill_tree(tree, range(60), sync_every=60)
+    root_no = tree._root_page()
+    rbuf = tree.file.pin(root_no)
+    rview = NodeView(rbuf.data, PAGE)
+    if rview.is_leaf:
+        tree.file.unpin(rbuf)
+        pytest.skip("tree still a single leaf")
+    tree.file.unpin(rbuf)
+
+    rbuf = tree.file.pin(root_no)
+    rview = NodeView(rbuf.data, PAGE)
+    slot = rview.n_keys - 1
+    old_child = rview.child_at(slot)
+    tree.file.unpin(rbuf)
+    splits_before = tree.stats_splits
+    i = 60
+    while tree.stats_splits == splits_before:
+        tree.insert(i, tid_for(i))
+        i += 1
+    rbuf = tree.file.pin(root_no)
+    rview = NodeView(rbuf.data, PAGE)
+    try:
+        if rview.level == 1:  # root is the leaves' parent
+            assert rview.prev_at(slot) == old_child
+            assert rview.child_at(slot) != old_child
+    finally:
+        tree.file.unpin(rbuf)
+
+
+def test_internal_splits_are_reorg_style(tree):
+    """An internal (level-1) split leaves a backup on the reorganized
+    page."""
+    fill_tree(tree, range(4000), sync_every=4000)
+    found_internal_backup = False
+    for page_no in range(1, tree.file.n_pages):
+        buf = tree.file.pin(page_no)
+        view = NodeView(buf.data, PAGE)
+        try:
+            if not view.is_leaf and view.prev_n_keys:
+                found_internal_backup = True
+            if view.is_leaf:
+                # leaves never carry backups in the hybrid tree
+                assert view.prev_n_keys == 0
+        finally:
+            tree.file.unpin(buf)
+    assert found_internal_backup
+
+
+def test_hybrid_functional_parity(tree):
+    keys = fill_tree(tree, range(1500), sync_every=128)
+    pairs = tree.check()
+    assert len(pairs) == 1500
+    for probe in range(0, 1500, 131):
+        assert tree.lookup(probe) == tid_for(probe)
+    for probe in range(0, 1500, 7):
+        tree.delete(probe)
+    tree.engine.sync()
+    remaining = 1500 - len(range(0, 1500, 7))
+    assert len(tree.check()) == remaining

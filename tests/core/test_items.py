@@ -1,0 +1,84 @@
+"""On-page item formats: packing, in-place pointer rewrites."""
+
+from repro.core import items as I
+from repro.core.keys import TID
+
+
+def test_leaf_item_roundtrip():
+    blob = I.pack_leaf_item(b"\x00\x00\x00\x07", TID(3, 9))
+    buf = bytearray(64)
+    buf[10:10 + len(blob)] = blob
+    assert I.item_key(buf, 10) == b"\x00\x00\x00\x07"
+    assert I.item_tid(buf, 10) == TID(3, 9)
+    assert I.leaf_item_bytes(buf, 10) == blob
+    assert len(blob) == I.leaf_item_size(b"\x00\x00\x00\x07")
+
+
+def test_normal_internal_item_roundtrip():
+    blob = I.pack_internal_item(b"key", 77)
+    buf = bytearray(64)
+    buf[0:len(blob)] = blob
+    assert I.item_key(buf, 0) == b"key"
+    assert I.item_child(buf, 0) == 77
+    assert len(blob) == I.internal_item_size(b"key", shadow=False)
+
+
+def test_shadow_internal_item_carries_prev():
+    blob = I.pack_internal_item(b"key", 77, prev=55)
+    buf = bytearray(64)
+    buf[0:len(blob)] = blob
+    assert I.item_child(buf, 0) == 77
+    assert I.item_prev(buf, 0) == 55
+    assert len(blob) == I.internal_item_size(b"key", shadow=True)
+    assert len(blob) == I.internal_item_size(b"key", shadow=False) + 4
+
+
+def test_in_place_child_rewrite_preserves_key():
+    """Shadow split step (5): K1's childPtr is redirected without touching
+    the key bytes."""
+    blob = I.pack_internal_item(b"stable-key", 10, prev=20)
+    buf = bytearray(64)
+    buf[0:len(blob)] = blob
+    I.set_item_child(buf, 0, 999)
+    assert I.item_child(buf, 0) == 999
+    assert I.item_prev(buf, 0) == 20
+    assert I.item_key(buf, 0) == b"stable-key"
+
+
+def test_in_place_prev_rewrite():
+    """Shadow split steps (2)/(3): prevPtr reassignment in place."""
+    blob = I.pack_internal_item(b"k", 1, prev=2)
+    buf = bytearray(32)
+    buf[0:len(blob)] = blob
+    I.set_item_prev(buf, 0, 42)
+    assert I.item_prev(buf, 0) == 42
+    assert I.item_child(buf, 0) == 1
+
+
+def test_empty_key_items():
+    """The minus-infinity sentinel is a zero-length key."""
+    blob = I.pack_internal_item(b"", 5, prev=6)
+    buf = bytearray(32)
+    buf[0:len(blob)] = blob
+    assert I.item_key(buf, 0) == b""
+    assert I.item_child(buf, 0) == 5
+    assert I.item_prev(buf, 0) == 6
+
+
+def test_item_size_at_all_shapes():
+    leaf = I.pack_leaf_item(b"abcd", TID(1, 2))
+    norm = I.pack_internal_item(b"abcd", 1)
+    shad = I.pack_internal_item(b"abcd", 1, prev=2)
+    buf = bytearray(128)
+    buf[0:len(leaf)] = leaf
+    assert I.item_size_at(buf, 0, leaf=True, shadow=False) == len(leaf)
+    buf[0:len(norm)] = norm
+    assert I.item_size_at(buf, 0, leaf=False, shadow=False) == len(norm)
+    buf[0:len(shad)] = shad
+    assert I.item_size_at(buf, 0, leaf=False, shadow=True) == len(shad)
+
+
+def test_overhead_constants():
+    assert I.LEAF_OVERHEAD == 8
+    assert I.INTERNAL_OVERHEAD == 6
+    assert I.SHADOW_OVERHEAD == 10

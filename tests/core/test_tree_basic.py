@@ -1,0 +1,150 @@
+"""Basic tree behaviour, parametrized over all four index kinds."""
+
+import pytest
+
+from repro import TID, TREE_CLASSES, DuplicateKeyError, KeyNotFoundError
+from repro.workload import random_permutation
+
+from ..conftest import fill_tree, tid_for
+
+
+def test_empty_tree_lookups(tree):
+    assert tree.lookup(5) is None
+    assert 5 not in tree
+    assert len(tree) == 0
+    assert tree.items() == []
+    assert tree.check() == []
+
+
+def test_single_insert_lookup(tree):
+    tree.insert(7, TID(2, 3))
+    assert tree.lookup(7) == TID(2, 3)
+    assert 7 in tree
+    assert len(tree) == 1
+    assert tree.height == 1
+
+
+def test_duplicate_insert_rejected(tree):
+    tree.insert(7, TID(1, 1))
+    with pytest.raises(DuplicateKeyError):
+        tree.insert(7, TID(1, 2))
+
+
+def test_ascending_bulk_and_height_growth(tree):
+    fill_tree(tree, range(600))
+    assert len(tree.check()) == 600
+    assert tree.height >= 2
+    for probe in (0, 1, 299, 598, 599):
+        assert tree.lookup(probe) == tid_for(probe)
+    assert tree.lookup(600) is None
+
+
+def test_descending_bulk(tree):
+    fill_tree(tree, range(599, -1, -1))
+    pairs = tree.check()
+    assert len(pairs) == 600
+    assert tree.lookup(0) == tid_for(0)
+    assert tree.lookup(599) == tid_for(599)
+
+
+def test_random_bulk(tree):
+    keys = random_permutation(600, seed=3)
+    fill_tree(tree, keys)
+    assert len(tree.check()) == 600
+    for probe in keys[::37]:
+        assert tree.lookup(probe) == tid_for(probe)
+
+
+def test_range_scan_full_and_bounded(tree):
+    fill_tree(tree, range(300))
+    values = [v for v, _ in tree.range_scan()]
+    assert values == list(range(300))
+    sub = [v for v, _ in tree.range_scan(50, 60)]
+    assert sub == list(range(50, 60))
+    assert [v for v, _ in tree.range_scan(295)] == list(range(295, 300))
+    assert [v for v, _ in tree.range_scan(hi=5)] == [0, 1, 2, 3, 4]
+    assert [v for v, _ in tree.range_scan(1000, 2000)] == []
+
+
+def test_scan_tids_match_inserts(tree):
+    fill_tree(tree, range(200))
+    for value, tid in tree.range_scan():
+        assert tid == tid_for(value)
+
+
+def test_delete_missing_key_raises(tree):
+    with pytest.raises(KeyNotFoundError):
+        tree.delete(1)
+    fill_tree(tree, range(10))
+    with pytest.raises(KeyNotFoundError):
+        tree.delete(99)
+
+
+def test_delete_then_lookup_misses(tree):
+    fill_tree(tree, range(100))
+    tree.delete(50)
+    assert tree.lookup(50) is None
+    assert len(tree.check()) == 99
+    tree.insert(50, TID(9, 9))
+    assert tree.lookup(50) == TID(9, 9)
+
+
+def test_interleaved_insert_delete(tree):
+    alive = set()
+    for i in range(400):
+        tree.insert(i, tid_for(i))
+        alive.add(i)
+        if i % 3 == 0 and i > 10:
+            victim = i - 10
+            tree.delete(victim)
+            alive.remove(victim)
+        if i % 64 == 0:
+            tree.engine.sync()
+    tree.engine.sync()
+    pairs = tree.check()
+    assert {int.from_bytes(k, "big") for k, _ in pairs} == alive
+
+
+def test_splits_update_stats(tree):
+    fill_tree(tree, range(600))
+    assert tree.stats_splits > 0
+    assert tree.stats_root_splits >= 1
+
+
+def test_reopen_after_clean_shutdown(engine, tree_kind):
+    cls = TREE_CLASSES[tree_kind]
+    tree = cls.create(engine, "ix", codec="uint32")
+    fill_tree(tree, range(300))
+    tree.close_clean()
+    engine.shutdown()
+
+    from repro import StorageEngine
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    tree2 = cls.open(engine2, "ix")
+    assert len(tree2.check()) == 300
+    assert tree2.lookup(123) == tid_for(123)
+    tree2.insert(1000, TID(1, 1))
+    assert tree2.lookup(1000) == TID(1, 1)
+
+
+def test_open_wrong_kind_rejected(engine):
+    TREE_CLASSES["shadow"].create(engine, "ix")
+    from repro.errors import TreeError
+    with pytest.raises(TreeError):
+        TREE_CLASSES["reorg"].open(engine, "ix")
+
+
+def test_codec_integration_int64(engine, tree_kind):
+    tree = TREE_CLASSES[tree_kind].create(engine, "ix", codec="int64")
+    for value in (-1000, -1, 0, 1, 10**12):
+        tree.insert(value, TID(1, 0))
+    assert [v for v, _ in tree.range_scan()] == [-1000, -1, 0, 1, 10**12]
+
+
+def test_codec_integration_str(engine, tree_kind):
+    tree = TREE_CLASSES[tree_kind].create(engine, "ix", codec="str")
+    words = ["pear", "apple", "fig", "banana"]
+    for i, word in enumerate(words):
+        tree.insert(word, TID(1, i))
+    assert [v for v, _ in tree.range_scan()] == sorted(words)
+    assert tree.lookup("fig") == TID(1, 2)

@@ -1,0 +1,213 @@
+"""Shadow-recoverable extendible hashing — the paper's generalization
+claim, tested the same way as the trees."""
+
+import pytest
+
+from repro import (
+    CrashError,
+    CrashOnceKeepingPages,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    RandomSubsetCrash,
+    StorageEngine,
+    TID,
+)
+from repro.core.detect import Action, Kind
+from repro.core.nodeview import NodeView
+from repro.hash import ExtendibleHashIndex, hash_key
+
+PAGE = 512
+
+
+def tid_for(i):
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+@pytest.fixture
+def engine():
+    return StorageEngine.create(page_size=PAGE, seed=5)
+
+
+@pytest.fixture
+def index(engine):
+    return ExtendibleHashIndex.create(engine, "h", codec="uint32")
+
+
+# -- functional ------------------------------------------------------------
+
+def test_empty_index(index):
+    assert index.lookup(1) is None
+    assert index.global_depth == 0
+    assert index.check() == []
+
+
+def test_insert_lookup_delete(index):
+    index.insert(7, TID(1, 2))
+    assert index.lookup(7) == TID(1, 2)
+    assert 7 in index
+    index.delete(7)
+    assert index.lookup(7) is None
+    with pytest.raises(KeyNotFoundError):
+        index.delete(7)
+
+
+def test_duplicate_rejected(index):
+    index.insert(7, TID(1, 1))
+    with pytest.raises(DuplicateKeyError):
+        index.insert(7, TID(1, 2))
+
+
+def test_growth_through_splits_and_doublings(index):
+    for i in range(2000):
+        index.insert(i, tid_for(i))
+        if i % 128 == 127:
+            index.engine.sync()
+    index.engine.sync()
+    assert index.global_depth >= 3
+    assert index.stats_bucket_splits > 10
+    assert index.stats_directory_doublings >= 3
+    pairs = index.check()
+    assert len(pairs) == 2000
+    for probe in range(0, 2000, 97):
+        assert index.lookup(probe) == tid_for(probe)
+    assert index.lookup(5000) is None
+
+
+def test_items_sorted_by_value(index):
+    for i in (5, 1, 9, 3):
+        index.insert(i, tid_for(i))
+    assert [v for v, _ in index.items()] == [1, 3, 5, 9]
+
+
+def test_bucket_prefix_invariant(index):
+    """Every key hashes into the bucket whose prefix covers it — the
+    detect-on-first-use predicate, verified exhaustively."""
+    for i in range(1000):
+        index.insert(i, tid_for(i))
+    index.engine.sync()
+    index.check()   # raises on any prefix violation
+
+
+def test_reopen_after_clean_shutdown(engine, index):
+    for i in range(300):
+        index.insert(i, tid_for(i))
+    engine.shutdown()
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    index2 = ExtendibleHashIndex.open(engine2, "h")
+    assert index2.lookup(123) == tid_for(123)
+    assert len(index2.check()) == 300
+
+
+def test_hash_is_stable():
+    assert hash_key(b"\x00\x00\x00\x07") == hash_key(b"\x00\x00\x00\x07")
+    assert hash_key(b"a") != hash_key(b"b")
+
+
+# -- crash recovery -----------------------------------------------------------
+
+
+def build_crashed(seed, n=400, batch=25):
+    engine = StorageEngine.create(page_size=PAGE, seed=seed)
+    index = ExtendibleHashIndex.create(engine, "h", codec="uint32")
+    engine.crash_policy = RandomSubsetCrash(p=0.25, seed=seed * 3 + 1)
+    committed, pending, crashed = set(), [], False
+    i = 0
+    while i < n and not crashed:
+        try:
+            index.insert(i, tid_for(i))
+            pending.append(i)
+            i += 1
+            if i % batch == 0:
+                engine.sync()
+                committed.update(pending)
+                pending = []
+        except CrashError:
+            crashed = True
+    return engine, committed, crashed
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_crash_campaign_never_loses_committed_keys(seed):
+    engine, committed, crashed = build_crashed(seed)
+    if not crashed:
+        pytest.skip("no crash at this seed")
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    index2 = ExtendibleHashIndex.open(engine2, "h")
+    missing = [k for k in committed if index2.lookup(k) is None]
+    assert not missing, sorted(missing)[:8]
+    for key in range(5000, 5060):
+        index2.insert(key, tid_for(key))
+    engine2.sync()
+    found = {int.from_bytes(k, "big") for k, _ in index2.check()}
+    assert committed <= found
+
+
+def test_lost_bucket_rebuilt_from_prev(engine, index):
+    """The targeted split-crash case: directory durable, a new bucket
+    lost — rebuilt from the prev bucket by re-hashing."""
+    committed = set(range(64))
+    for i in sorted(committed):
+        index.insert(i, tid_for(i))
+        if (i + 1) % 32 == 0:
+            engine.sync()
+    engine.sync()
+    splits = index.stats_bucket_splits
+    i = 64
+    while index.stats_bucket_splits == splits:
+        index.insert(i, tid_for(i))
+        i += 1
+    # find the new buckets of the in-flight split
+    token = engine.sync_state.token()
+    fresh = []
+    for page_no in range(1, index.file.n_pages):
+        buf = index.file.pin(page_no)
+        view = NodeView(buf.data, PAGE)
+        if view.page_type == 3 and view.sync_token == token:
+            fresh.append(page_no)
+        index.file.unpin(buf)
+    assert fresh
+    # crash keeping everything except one fresh bucket
+    keep = {("h", p) for p in range(index.file.n_pages)
+            if p not in fresh[:1]}
+    with pytest.raises(CrashError):
+        engine.sync(CrashOnceKeepingPages(keep))
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    index2 = ExtendibleHashIndex.open(engine2, "h")
+    assert all(index2.lookup(k) is not None for k in committed)
+    assert any(r.action is Action.REBUILT_FROM_PREV
+               for r in index2.repair_log)
+
+
+def test_lost_directory_rebuilt_from_previous_chain(engine, index):
+    """Directory doubling interrupted: the meta's previous chain is
+    re-doubled — the root-pointer shadowing transferred to hashing."""
+    for i in range(64):
+        index.insert(i, tid_for(i))
+    engine.sync()
+    doublings = index.stats_directory_doublings
+    i = 64
+    while index.stats_directory_doublings == doublings:
+        index.insert(i, tid_for(i))
+        i += 1
+    root, prev_root, depth = index._meta_state()
+    # crash losing the new chain (and everything else in the window)
+    with pytest.raises(CrashError):
+        engine.sync(CrashOnceKeepingPages(set()))
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    index2 = ExtendibleHashIndex.open(engine2, "h")
+    committed = set(range(64))
+    assert all(index2.lookup(k) is not None for k in committed)
+
+
+def test_create_window_crash_rebuilds_empty(engine, index):
+    """Everything lost before the first successful sync: the index comes
+    back empty — every key was uncommitted."""
+    for i in range(20):
+        index.insert(i, tid_for(i))
+    with pytest.raises(CrashError):
+        engine.sync(CrashOnceKeepingPages(set()))
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    index2 = ExtendibleHashIndex.open(engine2, "h")
+    assert index2.lookup(5) is None
+    index2.insert(5, tid_for(5))
+    assert index2.lookup(5) == tid_for(5)

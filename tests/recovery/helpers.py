@@ -1,0 +1,133 @@
+"""Shared machinery for crash/recovery tests."""
+
+from __future__ import annotations
+
+from repro import (
+    CrashError,
+    CrashOnceKeepingPages,
+    StorageEngine,
+    TID,
+    TREE_CLASSES,
+)
+from repro.core.nodeview import NodeView
+
+PAGE = 512
+
+
+def tid_for(i: int) -> TID:
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+def build_to_split(kind: str, *, seed: int = 11, committed_keys: int = 96,
+                   page_size: int = PAGE):
+    """Build a tree with *committed_keys* synced keys, then keep inserting
+    (no sync) until exactly one more leaf split happens.
+
+    Returns ``(engine, tree, committed, uncommitted, split_info)`` where
+    ``split_info`` identifies the pages of the in-flight split: the
+    reorganized/old slot, the new sibling, and the parent.
+    """
+    engine = StorageEngine.create(page_size=page_size, seed=seed)
+    tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+    committed = []
+    for i in range(committed_keys):
+        tree.insert(i, tid_for(i))
+        if (i + 1) % 32 == 0:
+            engine.sync()
+    engine.sync()
+    committed_set = set(committed or range(committed_keys))
+
+    uncommitted = []
+    splits_before = tree.stats_splits
+    i = committed_keys
+    while tree.stats_splits == splits_before:
+        tree.insert(i, tid_for(i))
+        uncommitted.append(i)
+        i += 1
+    return engine, tree, committed_set, set(uncommitted), find_split(tree)
+
+
+def find_split(tree) -> dict:
+    """Locate the pages of the most recent split by inspection.
+
+    For the reorg tree: ``pa`` is the reorganized page (live + backup),
+    ``pb`` its ``newPage`` sibling.  For the shadow tree: ``old`` is the
+    dead pre-split page (its buffer advertises the replacement through
+    ``newPage``), ``pa`` the new low half, ``pb`` the new high half.
+    """
+    token = tree.engine.sync_state.token()
+    info = {"pa": None, "pb": None, "parent": None, "old": None}
+    file = tree.file
+    for page_no in range(1, file.n_pages):
+        buf = file.pin(page_no)
+        view = NodeView(buf.data, tree.page_size)
+        try:
+            if view.sync_token != token or not view.is_leaf:
+                continue
+            if view.prev_n_keys:                    # reorg Pa
+                info["pa"] = page_no
+                info["pb"] = view.new_page or None
+            elif view.new_page:                     # shadow dead P
+                info["old"] = page_no
+                info["pa"] = view.new_page
+        finally:
+            file.unpin(buf)
+    if info["pa"] is not None and info["pb"] is None:
+        buf = file.pin(info["pa"])
+        view = NodeView(buf.data, tree.page_size)
+        try:
+            if view.sync_token == token and view.right_peer:
+                info["pb"] = view.right_peer
+        finally:
+            file.unpin(buf)
+    # the parent is whatever internal page routes to pa
+    root = tree._root_page()
+    stack = [root]
+    target = info["pa"]
+    while stack and target:
+        page_no = stack.pop()
+        buf = file.pin(page_no)
+        view = NodeView(buf.data, tree.page_size)
+        try:
+            if view.is_leaf:
+                continue
+            children = [view.child_at(i) for i in range(view.n_keys)]
+            if target in children:
+                info["parent"] = page_no
+            stack.extend(children)
+        finally:
+            file.unpin(buf)
+    return info
+
+
+def crash_keeping(engine, tree, file_name: str, keep_pages) -> None:
+    """Sync with a policy that persists only *keep_pages* of this file
+    (control-file pages always survive: they are written synchronously)."""
+    policy = CrashOnceKeepingPages({(file_name, p) for p in keep_pages})
+    try:
+        engine.sync(policy)
+    except CrashError:
+        return
+    raise AssertionError("expected the sync to crash")
+
+
+def verify_recovered(kind: str, engine, committed, *,
+                     insert_from: int = 10_000,
+                     inserts: int = 60) -> None:
+    """The recovery contract: reopen, find every committed key, accept new
+    work, and end structurally sound."""
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    tree2 = TREE_CLASSES[kind].open(engine2, "ix")
+    missing = [k for k in committed if tree2.lookup(k) is None]
+    assert not missing, f"committed keys lost: {sorted(missing)[:10]}"
+    values = [v for v, _ in tree2.range_scan()]
+    assert values == sorted(set(values)), "scan unsorted or duplicated"
+    assert committed <= set(values), "scan lost committed keys"
+    for key in range(insert_from, insert_from + inserts):
+        tree2.insert(key, tid_for(key))
+    engine2.sync()
+    pairs = tree2.check(strict_tokens=False, require_peer_chain=False)
+    found = {int.from_bytes(k, "big") for k, _ in pairs}
+    assert committed <= found
+    assert set(range(insert_from, insert_from + inserts)) <= found
+    return tree2

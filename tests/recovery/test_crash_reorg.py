@@ -1,0 +1,142 @@
+"""The five page-reorganization crash states (paper Section 3.4).
+
+Each test drives the tree to the moment after a leaf split, then crashes
+the commit sync keeping exactly the subset of pages that defines one of
+the paper's cases:
+
+    (a) only Pa written (replacing P)
+    (b) only Pa and Pb written (Pb inaccessible from the parent)
+    (c) only the parent and Pa written
+    (d) only the parent and Pb written
+    (e) only the parent written
+    (-) only Pb written — "the tree is not inconsistent (but Pb is lost)"
+    (-) nothing written — the whole window evaporates
+
+Recovery must preserve every committed key, accept new work afterwards,
+and the repair log must show the matching action.
+"""
+
+import pytest
+
+from repro.core.detect import Action, Kind
+
+from .helpers import build_to_split, crash_keeping, verify_recovered
+
+KIND = "reorg"
+
+
+def scenario():
+    engine, tree, committed, uncommitted, split = build_to_split(KIND)
+    assert split["pa"] and split["pb"] and split["parent"]
+    return engine, tree, committed, split
+
+
+def run_case(keep_keys):
+    engine, tree, committed, split = scenario()
+    keep = [split[name] for name in keep_keys]
+    crash_keeping(engine, tree, "ix", keep)
+    return engine, committed, split
+
+
+def recovered_tree(engine, committed):
+    return verify_recovered(KIND, engine, committed)
+
+
+def test_case_a_only_pa_written():
+    engine, committed, split = run_case(["pa"])
+    tree2 = recovered_tree(engine, committed)
+    # the original page was restored from its backup
+    assert any(r.kind is Kind.RESTORED_ORIGINAL for r in tree2.repair_log)
+
+
+def test_case_b_pa_and_pb_written():
+    engine, committed, split = run_case(["pa", "pb"])
+    tree2 = recovered_tree(engine, committed)
+    assert any(r.kind is Kind.RESTORED_ORIGINAL for r in tree2.repair_log)
+
+
+def test_case_c_parent_and_pa_written():
+    engine, committed, split = run_case(["parent", "pa"])
+    tree2 = recovered_tree(engine, committed)
+    # Pb was regenerated from Pa's backup keys
+    kinds = {r.kind for r in tree2.repair_log}
+    assert Kind.LOST_SIBLING in kinds or Kind.ZEROED_CHILD in kinds
+
+
+def test_case_d_parent_and_pb_written():
+    engine, committed, split = run_case(["parent", "pb"])
+    tree2 = recovered_tree(engine, committed)
+    # Pa's slot still held the pre-split page: the split was redone
+    assert any(r.kind is Kind.WIDE_CHILD
+               and r.action is Action.REDID_SPLIT
+               for r in tree2.repair_log)
+
+
+def test_case_e_only_parent_written():
+    engine, committed, split = run_case(["parent"])
+    tree2 = recovered_tree(engine, committed)
+    assert any(r.action is Action.REDID_SPLIT for r in tree2.repair_log)
+
+
+def test_only_pb_written_tree_consistent():
+    """Paper: 'If only Pb is written, the tree is not inconsistent (but
+    page Pb is lost).'"""
+    engine, committed, split = run_case(["pb"])
+    tree2 = recovered_tree(engine, committed)
+
+
+def test_nothing_written():
+    engine, committed, split = run_case([])
+    recovered_tree(engine, committed)
+
+
+def test_pa_backup_contains_exactly_pbs_half():
+    """Structural cross-check of Figure 2 at the crash point."""
+    from repro.core import items as I
+    from repro.core.nodeview import NodeView
+    engine, tree, committed, split = scenario()
+    buf = tree.file.pin(split["pa"])
+    pa = NodeView(buf.data, tree.page_size)
+    try:
+        backup_keys = [I.item_key(b, 0) for b in pa.backup_items()]
+        assert pa.prev_n_keys == pa.n_keys + len(backup_keys)
+    finally:
+        tree.file.unpin(buf)
+    pbuf = tree.file.pin(split["pb"])
+    pb = NodeView(pbuf.data, tree.page_size)
+    try:
+        pb_keys = list(pb.keys())
+        # Pb = backup half plus the split-triggering key
+        assert set(backup_keys) <= set(pb_keys)
+        assert len(pb_keys) == len(backup_keys) + 1
+    finally:
+        tree.file.unpin(pbuf)
+
+
+def test_repeated_crashes_across_epochs():
+    """Crash, recover, crash again in a later window: tokens from all
+    epochs coexist and recovery still holds."""
+    from repro import StorageEngine, TREE_CLASSES
+    from .helpers import tid_for
+    engine, tree, committed, split = scenario()
+    crash_keeping(engine, tree, "ix", [split["parent"]])
+
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    tree2 = TREE_CLASSES[KIND].open(engine2, "ix")
+    for k in sorted(committed):
+        assert tree2.lookup(k) is not None
+    # new committed work, then a second crash in a fresh window
+    for key in range(200, 280):
+        tree2.insert(key, tid_for(key))
+    engine2.sync()
+    committed |= set(range(200, 280))
+    splits_before = tree2.stats_splits
+    key = 300
+    while tree2.stats_splits == splits_before:
+        tree2.insert(key, tid_for(key))
+        key += 1
+    from .helpers import find_split
+    split2 = find_split(tree2)
+    crash_keeping(engine2, tree2, "ix",
+                  [p for p in (split2["parent"],) if p])
+    verify_recovered(KIND, engine2, committed)

@@ -1,0 +1,131 @@
+"""Shadow-tree crash states (paper Sections 3.3.1 / 3.3.2).
+
+The shadow split writes three pages (parent A, halves Pa and Pb) while
+the pre-split page P stays untouched on stable storage.  The only
+dangerous ordering is "A durable, a child not" — the child is rebuilt
+from the prevPtr page.  "If A was not written, the new child page is
+inaccessible, but the parent-child link is consistent."
+"""
+
+import pytest
+
+from repro.core.detect import Action, Kind
+from repro.core.nodeview import NodeView
+
+from .helpers import build_to_split, crash_keeping, find_split, \
+    verify_recovered
+
+KIND = "shadow"
+
+
+def scenario():
+    engine, tree, committed, uncommitted, split = build_to_split(KIND)
+    # for the shadow tree the split products are two fresh leaves; find
+    # them through the parent entry that changed this window
+    assert split["parent"]
+    return engine, tree, committed, split
+
+
+def split_leaves(tree, split):
+    """The two fresh leaves of the in-flight split, low then high."""
+    token = tree.engine.sync_state.token()
+    fresh = []
+    for page_no in range(1, tree.file.n_pages):
+        buf = tree.file.pin(page_no)
+        view = NodeView(buf.data, tree.page_size)
+        try:
+            if view.is_leaf and view.sync_token == token and view.n_keys:
+                fresh.append((view.min_key(), page_no))
+        finally:
+            tree.file.unpin(buf)
+    fresh.sort()
+    return [page_no for _, page_no in fresh]
+
+
+@pytest.mark.parametrize("lost", ["pa", "pb", "both"])
+def test_parent_durable_child_lost(lost):
+    engine, tree, committed, split = scenario()
+    leaves = split_leaves(tree, split)
+    assert len(leaves) >= 2
+    pa, pb = leaves[0], leaves[-1]
+    keep = {split["parent"]}
+    if lost == "pa":
+        keep.add(pb)
+    elif lost == "pb":
+        keep.add(pa)
+    crash_keeping(engine, tree, "ix", keep)
+    tree2 = verify_recovered(KIND, engine, committed)
+    assert any(r.action is Action.REBUILT_FROM_PREV
+               for r in tree2.repair_log)
+
+
+def test_children_durable_parent_lost_is_consistent():
+    """'If A was not written, the new child page is inaccessible, but the
+    parent-child link is consistent' — P is still on disk with every
+    committed key."""
+    engine, tree, committed, split = scenario()
+    leaves = split_leaves(tree, split)
+    crash_keeping(engine, tree, "ix", set(leaves))
+    verify_recovered(KIND, engine, committed)
+
+
+def test_nothing_durable():
+    engine, tree, committed, split = scenario()
+    crash_keeping(engine, tree, "ix", set())
+    verify_recovered(KIND, engine, committed)
+
+
+def test_everything_but_neighbor_durable():
+    """The left neighbour's re-stamped peer pointer is lost: lookups are
+    unaffected; the first scan or insert heals the link."""
+    engine, tree, committed, split = scenario()
+    leaves = split_leaves(tree, split)
+    buf = tree.file.pin(leaves[0])
+    neighbor = NodeView(buf.data, tree.page_size).left_peer
+    tree.file.unpin(buf)
+    keep = {split["parent"], *leaves}
+    keep.discard(neighbor)
+    crash_keeping(engine, tree, "ix", keep)
+    verify_recovered(KIND, engine, committed)
+
+
+def test_lost_root_restored_from_prev_root():
+    """Grow the root inside a window and lose the new root image: the
+    previous root is copied into its slot (Section 3.3.2)."""
+    from repro import StorageEngine, TREE_CLASSES
+    from .helpers import tid_for, PAGE
+    engine = StorageEngine.create(page_size=PAGE, seed=3)
+    tree = TREE_CLASSES[KIND].create(engine, "ix", codec="uint32")
+    committed = set(range(24))
+    for i in sorted(committed):
+        tree.insert(i, tid_for(i))
+    engine.sync()
+    root_splits = tree.stats_root_splits
+    i = 24
+    while tree.stats_root_splits == root_splits:
+        tree.insert(i, tid_for(i))
+        i += 1
+    new_root = tree._root_page()
+    crash_keeping(engine, tree, "ix", [])   # lose everything incl. root
+    tree2 = verify_recovered(KIND, engine, committed)
+
+
+def test_prev_chain_survives_cascaded_splits_in_one_window():
+    """Several splits of the same region inside a single window: repair
+    walks the prev chain transitively."""
+    from repro import StorageEngine, TREE_CLASSES
+    from .helpers import tid_for, PAGE
+    engine = StorageEngine.create(page_size=PAGE, seed=5)
+    tree = TREE_CLASSES[KIND].create(engine, "ix", codec="uint32")
+    committed = set(range(64))
+    for i in sorted(committed):
+        tree.insert(i, tid_for(i))
+    engine.sync()
+    # a long uncommitted run: many splits, all in one window
+    for i in range(64, 320):
+        tree.insert(i, tid_for(i))
+    split = find_split(tree)
+    # keep only the parent level: every fresh leaf is lost
+    keep = [p for p in (split["parent"],) if p]
+    crash_keeping(engine, tree, "ix", keep)
+    verify_recovered(KIND, engine, committed)

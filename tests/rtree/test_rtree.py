@@ -1,0 +1,191 @@
+"""Shadow-recoverable R-tree: functional parity with brute force, MBR
+invariants, crash recovery."""
+
+import random
+
+import pytest
+
+from repro import (
+    CrashError,
+    KeyNotFoundError,
+    RandomSubsetCrash,
+    StorageEngine,
+    TID,
+)
+from repro.errors import TreeError
+from repro.rtree import EVERYTHING, Rect, RTreeIndex
+
+PAGE = 512
+
+
+@pytest.fixture
+def engine():
+    return StorageEngine.create(page_size=PAGE, seed=5)
+
+
+@pytest.fixture
+def rt(engine):
+    return RTreeIndex.create(engine, "r")
+
+
+def random_rects(n, seed=0, span=1000.0, size=20.0):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        x, y = rng.uniform(0, span), rng.uniform(0, span)
+        out.append((Rect(x, y, x + rng.uniform(0.5, size),
+                         y + rng.uniform(0.5, size)),
+                    TID(1 + (i >> 8), i & 0xFF)))
+    return out
+
+
+# -- Rect ----------------------------------------------------------------
+
+def test_rect_geometry():
+    a = Rect(0, 0, 10, 10)
+    b = Rect(5, 5, 15, 15)
+    assert a.intersects(b) and b.intersects(a)
+    assert a.union(b) == Rect(0, 0, 15, 15)
+    assert a.union(b).contains(a)
+    assert a.enlargement(b) == 15 * 15 - 100
+    assert not a.contains(b)
+    assert Rect(0, 0, 20, 20).contains(b)
+    assert not a.intersects(Rect(11, 11, 12, 12))
+
+
+def test_rect_rejects_malformed():
+    with pytest.raises(TreeError):
+        Rect(5, 0, 1, 10)
+
+
+def test_point_rects():
+    p = Rect(3, 3, 3, 3)
+    assert p.area() == 0
+    assert p.intersects(Rect(0, 0, 5, 5))
+
+
+# -- functional vs brute force ----------------------------------------------
+
+def test_search_matches_brute_force(rt):
+    data = random_rects(600, seed=2)
+    for rect, tid in data:
+        rt.insert(rect, tid)
+    rt.engine.sync()
+    rng = random.Random(9)
+    for _ in range(40):
+        qx, qy = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        q = Rect(qx, qy, qx + 60, qy + 60)
+        got = set(rt.search(q))
+        want = {(r, t) for r, t in data if r.intersects(q)}
+        assert got == want
+
+
+def test_check_counts_all_entries(rt):
+    data = random_rects(500, seed=3)
+    for rect, tid in data:
+        rt.insert(rect, tid)
+    rt.engine.sync()
+    assert len(rt.check()) == 500
+    assert rt.stats_splits > 0
+
+
+def test_delete_exact_entry(rt):
+    data = random_rects(200, seed=4)
+    for rect, tid in data:
+        rt.insert(rect, tid)
+    victim_rect, victim_tid = data[77]
+    rt.delete(victim_rect, victim_tid)
+    assert (victim_rect, victim_tid) not in rt.search(victim_rect)
+    assert len(rt.check()) == 199
+    with pytest.raises(KeyNotFoundError):
+        rt.delete(victim_rect, victim_tid)
+
+
+def test_mbr_invariant_everywhere(rt):
+    for rect, tid in random_rects(800, seed=5):
+        rt.insert(rect, tid)
+    rt.engine.sync()
+    rt.check()   # raises if any child escapes its promised MBR
+
+
+def test_reopen_after_clean_shutdown(engine, rt):
+    data = random_rects(300, seed=6)
+    for rect, tid in data:
+        rt.insert(rect, tid)
+    engine.shutdown()
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    rt2 = RTreeIndex.open(engine2, "r")
+    assert len(rt2.check()) == 300
+    rect, tid = data[5]
+    assert (rect, tid) in rt2.search(rect)
+
+
+# -- crash recovery --------------------------------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_crash_campaign(seed):
+    rng = random.Random(seed)
+    engine = StorageEngine.create(page_size=PAGE, seed=seed)
+    rt = RTreeIndex.create(engine, "r")
+    engine.crash_policy = RandomSubsetCrash(p=0.25, seed=seed * 5 + 2)
+    committed, pending, crashed = [], [], False
+    i = 0
+    while i < 350 and not crashed:
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        rect = Rect(x, y, x + rng.uniform(1, 20), y + rng.uniform(1, 20))
+        tid = TID(1 + (i >> 8), i & 0xFF)
+        try:
+            rt.insert(rect, tid)
+            pending.append((rect, tid))
+            i += 1
+            if i % 25 == 0:
+                engine.sync()
+                committed.extend(pending)
+                pending = []
+        except CrashError:
+            crashed = True
+    if not crashed:
+        pytest.skip("no crash at this seed")
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    rt2 = RTreeIndex.open(engine2, "r")
+    for rect, tid in committed:
+        assert (rect, tid) in rt2.search(rect), (rect, tid)
+    # the index keeps working and the full scan covers everything
+    for j in range(50):
+        x = 2000.0 + j
+        rt2.insert(Rect(x, x, x + 1, x + 1), TID(9, j))
+    engine2.sync()
+    tids = {t for _r, t in rt2.search(EVERYTHING)}
+    assert {t for _r, t in committed} <= tids
+
+
+def test_results_deduplicated_after_repair():
+    """Crash repair may copy a straddling entry into both rebuilt halves;
+    searches must still return it once."""
+    seed = 5
+    rng = random.Random(seed)
+    engine = StorageEngine.create(page_size=PAGE, seed=seed)
+    rt = RTreeIndex.create(engine, "r")
+    engine.crash_policy = RandomSubsetCrash(p=0.3, seed=seed * 5 + 2)
+    inserted, crashed = [], False
+    i = 0
+    while i < 350 and not crashed:
+        x, y = rng.uniform(0, 1000), rng.uniform(0, 1000)
+        rect = Rect(x, y, x + rng.uniform(1, 20), y + rng.uniform(1, 20))
+        tid = TID(1 + (i >> 8), i & 0xFF)
+        try:
+            rt.insert(rect, tid)
+            inserted.append((rect, tid))
+            i += 1
+            if i % 25 == 0:
+                engine.sync()
+        except CrashError:
+            crashed = True
+    if not crashed:
+        pytest.skip("no crash at this seed")
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    rt2 = RTreeIndex.open(engine2, "r")
+    results = rt2.search(EVERYTHING)
+    tids = [t for _r, t in results]
+    assert len(tids) == len(set(tids))

@@ -1,0 +1,130 @@
+"""Buffer pool: pinning, dirty tracking, remapping, eviction."""
+
+import pytest
+
+from repro.errors import BufferError_
+from repro.storage import BufferPool, SimulatedDisk
+
+
+def make_pool(capacity=None):
+    disk = SimulatedDisk("t", 128)
+    return disk, BufferPool(disk, capacity=capacity)
+
+
+def test_pin_faults_in_from_disk():
+    disk, pool = make_pool()
+    disk.write_page(2, bytes([9]) * 128)
+    buf = pool.pin(2)
+    assert bytes(buf.data) == bytes([9]) * 128
+    assert buf.pin_count == 1
+    assert pool.stats_misses == 1
+
+
+def test_pin_twice_shares_frame():
+    _, pool = make_pool()
+    a = pool.pin(1)
+    b = pool.pin(1)
+    assert a is b
+    assert a.pin_count == 2
+    assert pool.stats_hits == 1
+
+
+def test_unpin_below_zero_rejected():
+    _, pool = make_pool()
+    buf = pool.pin(1)
+    pool.unpin(buf)
+    with pytest.raises(BufferError_):
+        pool.unpin(buf)
+
+
+def test_mark_dirty_requires_pin():
+    _, pool = make_pool()
+    buf = pool.pin(1)
+    pool.unpin(buf)
+    with pytest.raises(BufferError_):
+        pool.mark_dirty(buf)
+
+
+def test_dirty_batch_snapshot():
+    _, pool = make_pool()
+    buf = pool.pin(3)
+    buf.data[0] = 0xAB
+    pool.mark_dirty(buf)
+    batch = pool.dirty_batch()
+    assert list(batch) == [3]
+    assert batch[3][0] == 0xAB
+    buf.data[0] = 0xCD   # snapshot must not alias the live buffer
+    assert batch[3][0] == 0xAB
+    pool.clear_dirty(iter([3]))
+    assert pool.dirty_batch() == {}
+
+
+def test_remap_rebinds_virtual_buffer():
+    _, pool = make_pool()
+    old = pool.pin(5)
+    virtual = pool.allocate_virtual(bytearray(b"\x01" * 128))
+    newbuf = pool.remap(virtual, old)
+    assert newbuf.page_no == 5
+    assert newbuf.pin_count == 1
+    assert newbuf.dirty
+    assert pool.pin(5) is newbuf
+    assert old.page_no is None
+
+
+def test_remap_requires_single_pin_on_target():
+    _, pool = make_pool()
+    old = pool.pin(5)
+    pool.pin(5)  # second pin
+    virtual = pool.allocate_virtual(bytearray(128))
+    with pytest.raises(BufferError_):
+        pool.remap(virtual, old)
+
+
+def test_remap_rejects_non_virtual_source():
+    _, pool = make_pool()
+    a = pool.pin(1)
+    b = pool.pin(2)
+    with pytest.raises(BufferError_):
+        pool.remap(a, b)
+
+
+def test_pin_count_query_for_allocator():
+    _, pool = make_pool()
+    assert pool.pin_count(7) == 0
+    buf = pool.pin(7)
+    assert pool.pin_count(7) == 1
+    pool.unpin(buf)
+    assert pool.pin_count(7) == 0
+
+
+def test_eviction_drops_clean_unpinned_lru():
+    _, pool = make_pool(capacity=2)
+    a = pool.pin(1)
+    pool.unpin(a)
+    b = pool.pin(2)
+    pool.unpin(b)
+    c = pool.pin(3)   # exceeds capacity: page 1 (LRU, clean) evicted
+    pool.unpin(c)
+    assert 1 not in pool.cached_pages()
+    assert set(pool.cached_pages()) == {2, 3}
+
+
+def test_eviction_never_drops_pinned_or_dirty():
+    _, pool = make_pool(capacity=1)
+    a = pool.pin(1)
+    pool.mark_dirty(a)
+    pool.unpin(a)
+    b = pool.pin(2)          # cannot evict dirty page 1
+    assert set(pool.cached_pages()) == {1, 2}
+    assert pool.stats_overflows == 1
+    pool.unpin(b)
+
+
+def test_drop_rejects_pinned():
+    _, pool = make_pool()
+    buf = pool.pin(1)
+    with pytest.raises(BufferError_):
+        pool.drop(1)
+    pool.unpin(buf)
+    pool.drop(1)
+    assert pool.cached_pages() == []

@@ -1,0 +1,89 @@
+"""Crash-policy behaviour, including the exhaustive subset enumerator."""
+
+from repro.storage import (
+    CrashNever,
+    CrashOnNthSync,
+    CrashOnceKeepingPages,
+    RandomSubsetCrash,
+    RecordingPolicy,
+    SubsetEnumerator,
+)
+
+BATCH = [("f", 1), ("f", 2), ("f", 3)]
+
+
+def test_never_crashes():
+    assert CrashNever().select(BATCH) is None
+
+
+def test_nth_sync_prefix_keep():
+    policy = CrashOnNthSync(1, keep=2)
+    assert policy.select(BATCH) == BATCH[:2]
+
+
+def test_nth_sync_index_keep():
+    policy = CrashOnNthSync(1, keep=[0, 2])
+    assert policy.select(BATCH) == [BATCH[0], BATCH[2]]
+
+
+def test_nth_sync_callable_keep():
+    policy = CrashOnNthSync(1, keep=lambda b: [b[-1]])
+    assert policy.select(BATCH) == [BATCH[-1]]
+
+
+def test_nth_sync_waits_for_nth():
+    policy = CrashOnNthSync(3, keep=0)
+    assert policy.select(BATCH) is None
+    assert policy.select(BATCH) is None
+    assert policy.select(BATCH) == []
+    assert policy.select(BATCH) is None  # fires once
+
+
+def test_keep_pages_ignores_absent_ids():
+    policy = CrashOnceKeepingPages({("f", 2), ("g", 9)})
+    assert policy.select(BATCH) == [("f", 2)]
+    assert policy.select(BATCH) is None  # one-shot
+
+
+def test_random_subset_deterministic_with_seed():
+    a = RandomSubsetCrash(p=1.0, seed=42).select(BATCH)
+    b = RandomSubsetCrash(p=1.0, seed=42).select(BATCH)
+    assert a == b
+
+
+def test_random_subset_probability_zero_never_fires():
+    policy = RandomSubsetCrash(p=0.0, seed=1)
+    assert all(policy.select(BATCH) is None for _ in range(50))
+
+
+def test_recording_policy_accumulates_batches():
+    policy = RecordingPolicy()
+    assert policy.select(BATCH) is None
+    assert policy.select(BATCH[:1]) is None
+    assert policy.batches == [BATCH, BATCH[:1]]
+
+
+def test_subset_enumerator_exhaustive_small_batch():
+    subsets = list(SubsetEnumerator(BATCH).subsets())
+    assert len(subsets) == 2 ** len(BATCH)
+    assert len(set(subsets)) == len(subsets)
+    assert () in subsets
+    assert tuple(BATCH) in subsets
+
+
+def test_subset_enumerator_samples_large_batch():
+    batch = [("f", i) for i in range(20)]
+    subsets = list(SubsetEnumerator(batch, max_exhaustive=8,
+                                    sample=64).subsets())
+    assert len(subsets) == 64
+    assert () in subsets
+    assert tuple(batch) in subsets
+    assert len(set(subsets)) == len(subsets)
+
+
+def test_subset_enumerator_yields_policies():
+    policies = list(SubsetEnumerator(BATCH, sync_index=1))
+    assert len(policies) == 8
+    kept = policies[3].select(BATCH)
+    assert kept is not None
+    assert set(kept) <= set(BATCH)

@@ -1,0 +1,134 @@
+"""Simulated disk: atomic page writes, unordered sync, crash subsets."""
+
+import pytest
+
+from repro.errors import CrashError, PageError
+from repro.storage import (
+    CrashOnNthSync,
+    CrashOnceKeepingPages,
+    NO_CRASH,
+    SimulatedDisk,
+)
+
+
+def make_disk(**kw):
+    return SimulatedDisk("t", 128, **kw)
+
+
+def page(byte):
+    return bytes([byte]) * 128
+
+
+def test_unwritten_pages_read_back_zeroed():
+    disk = make_disk()
+    assert disk.read_page(5) == bytes(128)
+
+
+def test_write_then_read():
+    disk = make_disk()
+    disk.write_page(3, page(7))
+    assert disk.read_page(3) == page(7)
+    assert disk.n_pages == 4
+
+
+def test_write_wrong_size_rejected():
+    disk = make_disk()
+    with pytest.raises(PageError):
+        disk.write_page(0, b"short")
+
+
+def test_negative_page_rejected():
+    disk = make_disk()
+    with pytest.raises(PageError):
+        disk.read_page(-1)
+    with pytest.raises(PageError):
+        disk.write_page(-1, page(0))
+
+
+def test_sync_writes_every_page():
+    disk = make_disk()
+    batch = {i: page(i) for i in range(5)}
+    disk.sync(batch, NO_CRASH)
+    for i in range(5):
+        assert disk.read_page(i) == page(i)
+
+
+def test_sync_crash_keeps_selected_subset_only():
+    disk = make_disk()
+    disk.write_page(1, page(0xAA))
+    batch = {1: page(1), 2: page(2), 3: page(3)}
+    policy = CrashOnceKeepingPages({("t", 2)})
+    with pytest.raises(CrashError) as exc:
+        disk.sync(batch, policy)
+    assert disk.read_page(2) == page(2)          # survived
+    assert disk.read_page(1) == page(0xAA)       # kept its OLD image
+    assert disk.read_page(3) == bytes(128)       # never written
+    assert set(exc.value.written) == {("t", 2)}
+    assert set(exc.value.dropped) == {("t", 1), ("t", 3)}
+
+
+def test_crash_on_nth_sync_counts_syncs():
+    disk = make_disk()
+    policy = CrashOnNthSync(2, keep=0)
+    disk.sync({0: page(1)}, policy)              # sync 1 passes
+    with pytest.raises(CrashError):
+        disk.sync({0: page(2)}, policy)          # sync 2 crashes
+    assert disk.read_page(0) == page(1)
+
+
+def test_single_page_writes_are_atomic_under_crash():
+    # the paper assumes single-page atomicity: a crashed sync leaves each
+    # page as either its old image or its new image, never a mixture
+    disk = make_disk()
+    disk.write_page(0, page(0x11))
+    with pytest.raises(CrashError):
+        disk.sync({0: page(0x22)}, CrashOnNthSync(1, keep=0))
+    assert disk.read_page(0) in (page(0x11), page(0x22))
+
+
+def test_snapshot_restore_roundtrip():
+    disk = make_disk()
+    disk.write_page(0, page(1))
+    snap = disk.snapshot()
+    disk.write_page(0, page(2))
+    disk.write_page(9, page(9))
+    disk.restore(snap)
+    assert disk.read_page(0) == page(1)
+    assert disk.read_page(9) == bytes(128)
+    assert disk.n_pages == 1
+
+
+def test_durable_image_distinguishes_never_written():
+    disk = make_disk()
+    assert disk.durable_image(4) is None
+    disk.write_page(4, bytes(128))
+    assert disk.durable_image(4) == bytes(128)
+
+
+def test_stats_accumulate():
+    disk = make_disk()
+    disk.write_page(0, page(0))
+    disk.read_page(0)
+    disk.sync({1: page(1)})
+    assert disk.stats.writes == 2
+    assert disk.stats.reads == 1
+    assert disk.stats.syncs == 1
+    assert disk.stats.bytes_written == 256
+    assert disk.stats.as_dict()["crashes"] == 0
+
+
+def test_shuffle_controls_write_order():
+    order_seen = []
+
+    def record_order(batch):
+        order_seen.append(list(batch))
+
+    disk = SimulatedDisk("t", 128, shuffle=lambda lst: lst.reverse())
+
+    class Spy(type(NO_CRASH)):
+        def select(self, batch):
+            record_order(batch)
+            return None
+
+    disk.sync({0: page(0), 1: page(1), 2: page(2)}, Spy())
+    assert order_seen[0] == [("t", 2), ("t", 1), ("t", 0)]

@@ -1,0 +1,114 @@
+"""Freelist: deferred frees, key-range reuse rule, pin protection."""
+
+import pytest
+
+from repro.errors import FreelistError
+from repro.storage import FreeEntry, Freelist, ranges_overlap
+
+
+class Extender:
+    def __init__(self, start=10):
+        self.next = start
+
+    def __call__(self):
+        self.next += 1
+        return self.next - 1
+
+
+def make(pins=None):
+    pins = pins or {}
+    return Freelist(Extender(), lambda p: pins.get(p, 0))
+
+
+# -- ranges_overlap ---------------------------------------------------------
+
+@pytest.mark.parametrize("a,b,expect", [
+    ((b"a", b"c"), (b"b", b"d"), True),
+    ((b"a", b"b"), (b"b", b"c"), False),     # half-open: [a,b) vs [b,c)
+    ((b"a", None), (b"z", None), True),      # both unbounded above
+    ((b"a", b"b"), (b"c", None), False),
+    (None, (b"a", b"b"), False),             # no recorded range
+    ((b"a", b"b"), None, False),
+    ((b"m", b"m"), (b"a", b"z"), False),     # empty range
+])
+def test_ranges_overlap(a, b, expect):
+    assert ranges_overlap(a, b) is expect
+
+
+# -- allocation -----------------------------------------------------------
+
+def test_allocate_extends_when_empty():
+    fl = make()
+    assert fl.allocate() == 10
+    assert fl.allocate() == 11
+    assert fl.stats_extended == 2
+
+
+def test_free_then_allocate_recycles():
+    fl = make()
+    fl.free(5)
+    assert fl.allocate() == 5
+    assert fl.stats_recycled == 1
+
+
+def test_overlapping_range_not_recycled():
+    """Section 3.3.3: a page must not be reallocated for a key range
+    overlapping the one it held, or a lost new image would be
+    undetectable."""
+    fl = make()
+    fl.free(5, (b"\x10", b"\x20"))
+    # overlapping request: skip page 5, extend instead
+    assert fl.allocate((b"\x18", b"\x30")) == 10
+    # disjoint request: page 5 is fine
+    assert fl.allocate((b"\x30", b"\x40")) == 5
+
+
+def test_pinned_page_not_recycled():
+    pins = {5: 1}
+    fl = Freelist(Extender(), lambda p: pins.get(p, 0))
+    fl.free(5)
+    assert fl.allocate() == 10      # skipped while pinned
+    pins[5] = 0
+    assert fl.allocate() == 5
+
+
+def test_deferred_free_requires_sync():
+    fl = make()
+    fl.free_after_sync(5, (b"a", b"b"))
+    assert fl.pending == 1
+    assert fl.allocate() == 10      # not yet available
+    fl.drain_after_sync()
+    assert fl.pending == 0
+    assert fl.allocate() == 5
+
+
+def test_double_free_detected():
+    fl = make()
+    fl.free(5)
+    with pytest.raises(FreelistError):
+        fl.free(5)
+    with pytest.raises(FreelistError):
+        fl.free_after_sync(5)
+
+
+def test_page_zero_never_freeable():
+    fl = make()
+    with pytest.raises(FreelistError):
+        fl.free(0)
+
+
+def test_entries_roundtrip_through_load():
+    fl = make()
+    fl.free(3, (b"a", b"b"))
+    fl.free(4, None)
+    entries = fl.entries()
+    fl2 = make()
+    fl2.load_entries(entries)
+    assert len(fl2) == 2
+    assert fl2.allocate((b"c", b"d")) in (3, 4)
+
+
+def test_free_entry_dataclass():
+    entry = FreeEntry(7, (b"a", None))
+    assert entry.page_no == 7
+    assert entry.key_range == (b"a", None)

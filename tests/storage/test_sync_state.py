@@ -1,0 +1,95 @@
+"""Sync counter / sync token machinery (paper Section 3.2)."""
+
+from repro.storage import SyncState
+
+
+class MaxRecorder:
+    def __init__(self):
+        self.values = []
+
+    def __call__(self, value):
+        self.values.append(value)
+
+    @property
+    def last(self):
+        return self.values[-1]
+
+
+def test_fresh_state_persists_initial_maximum():
+    rec = MaxRecorder()
+    state = SyncState.fresh(rec, batch=10)
+    assert state.counter == 1
+    assert rec.last == 11
+    assert state.max_counter == 11
+
+
+def test_counter_advances_only_when_split_occurred():
+    state = SyncState.fresh(MaxRecorder(), batch=100)
+    state.on_sync_complete()
+    assert state.counter == 1        # no split: no advance
+    state.note_split()
+    state.on_sync_complete()
+    assert state.counter == 2
+    state.on_sync_complete()
+    assert state.counter == 2        # flag was consumed
+
+
+def test_maximum_always_exceeds_counter():
+    rec = MaxRecorder()
+    state = SyncState.fresh(rec, batch=3)
+    for _ in range(20):
+        state.note_split()
+        state.on_sync_complete()
+        assert state.max_counter > state.counter
+
+
+def test_after_crash_restarts_at_persisted_maximum():
+    state = SyncState.after_crash(MaxRecorder(), persisted_max=500, batch=8)
+    assert state.counter == 500
+    assert state.last_crash_token == 500
+    # every pre-crash token is strictly below the restart value
+    assert state.predates_last_crash(499)
+    assert not state.predates_last_crash(500)
+
+
+def test_after_clean_shutdown_preserves_counter():
+    state = SyncState.after_clean_shutdown(
+        MaxRecorder(), counter=42, last_crash_token=30, persisted_max=100)
+    assert state.counter == 42
+    assert state.last_crash_token == 30
+
+
+def test_synced_since_init_token_comparison():
+    state = SyncState.fresh(MaxRecorder(), batch=100)
+    token = state.token()
+    assert not state.synced_since_init(token)
+    state.note_split()
+    state.on_sync_complete()
+    assert state.synced_since_init(token)
+
+
+def test_shutdown_record_roundtrip():
+    rec = MaxRecorder()
+    state = SyncState.fresh(rec, batch=10)
+    state.note_split()
+    state.on_sync_complete()
+    counter, last_crash, maximum = state.shutdown_record()
+    revived = SyncState.after_clean_shutdown(
+        rec, counter=counter, last_crash_token=last_crash,
+        persisted_max=maximum)
+    assert revived.counter == state.counter
+    assert revived.last_crash_token == state.last_crash_token
+
+
+def test_tokens_unique_across_crash_epochs():
+    """The invariant everything relies on: a token issued after recovery
+    is strictly greater than any token issued before the crash."""
+    rec = MaxRecorder()
+    state = SyncState.fresh(rec, batch=5)
+    pre_crash_tokens = []
+    for _ in range(12):
+        pre_crash_tokens.append(state.token())
+        state.note_split()
+        state.on_sync_complete()
+    state2 = SyncState.after_crash(rec, persisted_max=rec.last, batch=5)
+    assert all(state2.token() > t for t in pre_crash_tokens)

@@ -1,0 +1,94 @@
+"""No-overwrite heap relations."""
+
+import pytest
+
+from repro import StorageEngine
+from repro.core.keys import TID
+from repro.errors import PageFullError, TreeError
+from repro.txn import HeapRelation
+
+
+@pytest.fixture
+def heap():
+    engine = StorageEngine.create(page_size=512, seed=1)
+    return HeapRelation.create(engine, "h")
+
+
+def test_insert_fetch_roundtrip(heap):
+    tid = heap.insert(b"hello", xid=5)
+    tup = heap.fetch(tid)
+    assert tup.payload == b"hello"
+    assert tup.xmin == 5
+    assert tup.xmax == 0
+    assert not tup.deleted
+
+
+def test_tids_are_stable_and_distinct(heap):
+    tids = [heap.insert(f"row-{i}".encode(), xid=1) for i in range(50)]
+    assert len(set(tids)) == 50
+    for i, tid in enumerate(tids):
+        assert heap.fetch(tid).payload == f"row-{i}".encode()
+
+
+def test_delete_stamps_xmax_in_place(heap):
+    tid = heap.insert(b"doomed", xid=1)
+    heap.delete(tid, xid=2)
+    tup = heap.fetch(tid)
+    assert tup.deleted
+    assert tup.xmax == 2
+    assert tup.payload == b"doomed"     # the bytes are never overwritten
+
+
+def test_double_delete_rejected(heap):
+    tid = heap.insert(b"x", xid=1)
+    heap.delete(tid, xid=2)
+    with pytest.raises(TreeError):
+        heap.delete(tid, xid=3)
+
+
+def test_update_is_delete_plus_insert(heap):
+    tid = heap.insert(b"v1", xid=1)
+    tid2 = heap.update(tid, b"v2", xid=2)
+    assert tid2 != tid
+    old = heap.fetch(tid)
+    assert old.deleted and old.payload == b"v1"
+    assert heap.fetch(tid2).payload == b"v2"
+
+
+def test_fetch_dangling_tid_returns_none(heap):
+    assert heap.fetch(TID(99, 0)) is None
+    tid = heap.insert(b"x", xid=1)
+    assert heap.fetch(TID(tid.page_no, tid.line + 7)) is None
+
+
+def test_scan_yields_every_version(heap):
+    tid = heap.insert(b"v1", xid=1)
+    heap.update(tid, b"v2", xid=2)
+    for i in range(30):
+        heap.insert(f"r{i}".encode(), xid=3)
+    versions = list(heap.scan())
+    assert len(versions) == 32
+    payloads = {t.payload for t in versions}
+    assert b"v1" in payloads and b"v2" in payloads
+
+
+def test_pages_fill_and_chain(heap):
+    for i in range(200):
+        heap.insert(b"x" * 20, xid=1)
+    assert heap.file.n_pages > 2
+
+
+def test_oversized_tuple_rejected(heap):
+    with pytest.raises(PageFullError):
+        heap.insert(b"x" * 600, xid=1)
+
+
+def test_durability_through_reopen(heap):
+    engine = heap.engine
+    tid = heap.insert(b"persist-me", xid=1)
+    engine.sync()
+    engine.shutdown()
+    from repro import StorageEngine
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    heap2 = HeapRelation.open(engine2, "h")
+    assert heap2.fetch(tid).payload == b"persist-me"

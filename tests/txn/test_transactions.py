@@ -1,0 +1,134 @@
+"""Transaction manager: xid assignment, the sync-then-flip commit point,
+and the xid status log."""
+
+import pytest
+
+from repro import CrashError, CrashOnNthSync, StorageEngine
+from repro.errors import TransactionError
+from repro.txn import (
+    ABORTED,
+    COMMITTED,
+    IN_PROGRESS,
+    TransactionManager,
+)
+from repro.txn.xidlog import XidLog
+
+
+@pytest.fixture
+def engine():
+    return StorageEngine.create(page_size=512, seed=2)
+
+
+@pytest.fixture
+def txns(engine):
+    return TransactionManager(engine)
+
+
+def test_xids_monotonic(txns):
+    xids = [txns.begin().xid for _ in range(10)]
+    assert xids == sorted(xids)
+    assert len(set(xids)) == 10
+
+
+def test_commit_flips_status(txns):
+    txn = txns.begin()
+    assert not txns.is_committed(txn.xid)
+    txn.commit()
+    assert txns.is_committed(txn.xid)
+    assert txn.state == "committed"
+
+
+def test_abort_recorded(txns):
+    txn = txns.begin()
+    txn.abort()
+    assert not txns.is_committed(txn.xid)
+    assert txns.log.get_state(txn.xid) == ABORTED
+
+
+def test_double_commit_rejected(txns):
+    txn = txns.begin()
+    txn.commit()
+    with pytest.raises(TransactionError):
+        txn.commit()
+    with pytest.raises(TransactionError):
+        txn.abort()
+
+
+def test_context_manager_commits_or_aborts(txns):
+    with txns.begin() as txn:
+        pass
+    assert txn.state == "committed"
+    with pytest.raises(ValueError):
+        with txns.begin() as txn2:
+            raise ValueError("boom")
+    assert txn2.state == "aborted"
+
+
+def test_crash_during_commit_sync_leaves_uncommitted(engine, txns):
+    txn = txns.begin()
+    # dirty something so the sync has work to do
+    file = engine.create_file("d")
+    page = file.allocate()
+    buf = file.pin(page)
+    file.mark_dirty(buf)
+    file.unpin(buf)
+    engine.crash_policy = CrashOnNthSync(1, keep=0)
+    with pytest.raises(CrashError):
+        txn.commit()
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    txns2 = TransactionManager(engine2)
+    # the commit bit never flipped: presumed abort
+    assert not txns2.is_committed(txn.xid)
+
+
+def test_xids_never_reused_across_crash(engine, txns):
+    used = [txns.begin().xid for _ in range(5)]
+    engine.dead = True
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    txns2 = TransactionManager(engine2)
+    fresh = txns2.begin().xid
+    assert fresh > max(used)
+
+
+def test_status_survives_restart(engine, txns):
+    committed = txns.begin()
+    committed.commit()
+    aborted = txns.begin()
+    aborted.abort()
+    engine.shutdown()
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    txns2 = TransactionManager(engine2)
+    assert txns2.is_committed(committed.xid)
+    assert not txns2.is_committed(aborted.xid)
+
+
+def test_xidlog_two_bit_packing(engine):
+    file = engine.create_file("xl")
+    log = XidLog(file)
+    for xid, state in ((1, COMMITTED), (2, ABORTED), (3, IN_PROGRESS),
+                       (4, COMMITTED), (5, COMMITTED)):
+        log.set_state(xid, state)
+    assert log.get_state(1) == COMMITTED
+    assert log.get_state(2) == ABORTED
+    assert log.get_state(3) == IN_PROGRESS
+    assert log.get_state(4) == COMMITTED
+    assert log.is_committed(5)
+    assert not log.is_committed(6)
+
+
+def test_xidlog_spans_pages(engine):
+    file = engine.create_file("xl")
+    log = XidLog(file)
+    far = 512 * 4 * 3 + 17   # well into the third status page
+    log.set_state(far, COMMITTED)
+    assert log.is_committed(far)
+    assert not log.is_committed(far - 1)
+
+
+def test_xidlog_rejects_bad_values(engine):
+    file = engine.create_file("xl")
+    log = XidLog(file)
+    with pytest.raises(TransactionError):
+        log.get_state(0)
+    with pytest.raises(TransactionError):
+        log.set_state(1, 7)
