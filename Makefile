@@ -1,0 +1,16 @@
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: check lint test test-sanitized
+
+check:
+	sh scripts/check.sh
+
+lint:
+	python -m repro.tools.lint src/
+
+test:
+	python -m pytest -x -q
+
+test-sanitized:
+	REPRO_SANITIZE=1 python -m pytest -x -q

@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Full pre-merge gate: crash-safety lint, external linters (when
+# installed), and the tier-1 suite under the runtime sanitizer.
+#
+# Usage: scripts/check.sh  (or: make check)
+set -eu
+
+cd "$(dirname "$0")/.."
+PYTHONPATH=src
+export PYTHONPATH
+
+echo "==> crash-safety lint (python -m repro.tools.lint)"
+python -m repro.tools.lint src/
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "==> ruff"
+    ruff check src tests
+else
+    echo "==> ruff not installed; skipping"
+fi
+
+if command -v mypy >/dev/null 2>&1; then
+    echo "==> mypy"
+    mypy
+else
+    echo "==> mypy not installed; skipping"
+fi
+
+echo "==> tier-1 suite under the runtime sanitizer (REPRO_SANITIZE=1)"
+REPRO_SANITIZE=1 python -m pytest -x -q
+
+echo "==> all checks passed"

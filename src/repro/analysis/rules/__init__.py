@@ -1,0 +1,47 @@
+"""The repo-specific lint rules, one module per protocol discipline.
+
+========  ==================================================================
+rule      discipline (paper section)
+========  ==================================================================
+R001      every ``pin()`` is paired with an ``unpin()`` reachable on every
+          path — ``try/finally``, the ``pinned()`` context manager, or an
+          explicit ownership transfer (3.6)
+R002      page bytes are mutated only through the page/NodeView layer, never
+          by poking ``buf.data`` directly from tree code
+R003      a scope that mutates a buffer must also mark one dirty (or obtain
+          the buffer from an allocator that returns it born-dirty) — the
+          no-steal sync misses mutated-but-clean frames otherwise
+R004      sync-token comparisons go through the SyncState helpers
+          (``synced_since_init`` and friends), never raw ``<`` / ``>=`` (3.2)
+R005      no bare ``except:`` / ``except Exception`` that swallows
+          :mod:`repro.errors` failures without re-raising
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from ..lint import Rule
+from .pins import UnbalancedPinRule
+from .mutation import DirectDataMutationRule, MissingMarkDirtyRule
+from .tokens import RawTokenComparisonRule
+from .exceptions import SwallowedErrorRule
+
+__all__ = [
+    "all_rules",
+    "UnbalancedPinRule",
+    "DirectDataMutationRule",
+    "MissingMarkDirtyRule",
+    "RawTokenComparisonRule",
+    "SwallowedErrorRule",
+]
+
+
+def all_rules() -> list[Rule]:
+    """One instance of every registered rule, in rule-id order."""
+    return [
+        UnbalancedPinRule(),
+        DirectDataMutationRule(),
+        MissingMarkDirtyRule(),
+        RawTokenComparisonRule(),
+        SwallowedErrorRule(),
+    ]

@@ -1,0 +1,54 @@
+"""R005 — no blanket ``except`` that swallows protocol errors.
+
+Everything in :mod:`repro.errors` (PageCorruptError, BufferError_,
+InconsistencyError, ...) signals a *recoverability* problem; a bare
+``except:`` or ``except Exception: pass`` around storage code converts a
+detected corruption into silent data loss.  A broad handler is fine when
+it re-raises (cleanup shapes like ``except BaseException: unpin; raise``)
+— otherwise catch the specific error, or ``repro.errors.ReproError`` when
+the intent really is "any protocol failure".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import FileContext, Rule, Violation
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+def _is_broad(type_node: ast.AST | None) -> bool:
+    if type_node is None:
+        return True  # bare except:
+    if isinstance(type_node, ast.Name):
+        return type_node.id in _BROAD_NAMES
+    if isinstance(type_node, ast.Attribute):
+        return type_node.attr in _BROAD_NAMES
+    if isinstance(type_node, ast.Tuple):
+        return any(_is_broad(elt) for elt in type_node.elts)
+    return False
+
+
+class SwallowedErrorRule(Rule):
+    rule_id = "R005"
+    summary = "broad except clause swallows repro.errors failures"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node.type):
+                continue
+            reraises = any(isinstance(sub, ast.Raise)
+                           for stmt in node.body for sub in ast.walk(stmt))
+            if reraises:
+                continue
+            caught = "bare except" if node.type is None else "broad except"
+            yield self.violation(
+                ctx, node,
+                f"{caught} without re-raise can swallow repro.errors "
+                "failures — catch the specific error (or ReproError) "
+                "or re-raise",
+            )

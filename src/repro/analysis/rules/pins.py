@@ -1,0 +1,210 @@
+"""R001 — every ``pin()`` must be paired with an ``unpin()``.
+
+Section 3.6 of the paper releases latches (pins, here) before an operation
+returns; a leaked pin permanently blocks eviction and, worse, silently
+disables the freelist's "never reallocate a pinned page" guard the
+recovery algorithm leans on.
+
+The rule is a per-function ownership analysis.  A variable bound from a
+``pin()`` / ``pin_meta()`` / ``_pin()`` / ``allocate_virtual()`` call is
+*accounted for* when any alias of it is
+
+* unpinned inside a ``finally`` block (the canonical shape),
+* unpinned inside an ``except`` handler that re-raises (the error-path
+  cleanup shape used by ``_descend``),
+* unpinned by the statement immediately following the pin (the
+  "touch and release" shape),
+* or *transferred*: returned / yielded, stored into an attribute or
+  subscript, or passed as a bare argument to a call that takes ownership
+  (e.g. ``PathEntry(...)``; calls like ``mark_dirty`` that borrow the
+  buffer without taking ownership do not count).
+
+Pins acquired with ``with file.pinned(page) as buf:`` never bind an
+unaccounted name, so the context-manager idiom passes by construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import (
+    FileContext,
+    Rule,
+    Violation,
+    callee_name,
+    iter_functions,
+    walk_function_scope,
+)
+
+PIN_CALLEES = {"pin", "pin_meta", "_pin", "allocate_virtual"}
+UNPIN_CALLEES = {"unpin", "_unpin", "unpin_path", "_unpin_path"}
+#: Calls that borrow a buffer without taking ownership of its pin.
+BORROWING_CALLEES = PIN_CALLEES | UNPIN_CALLEES | {
+    "mark_dirty", "_dirty", "note_volatile", "pin_count",
+}
+
+
+class _Aliases:
+    """Union-find over local variable names, so ``a = buf`` makes the two
+    names one ownership group."""
+
+    def __init__(self) -> None:
+        self._parent: dict[str, str] = {}
+
+    def find(self, name: str) -> str:
+        self._parent.setdefault(name, name)
+        while self._parent[name] != name:
+            self._parent[name] = self._parent[self._parent[name]]
+            name = self._parent[name]
+        return name
+
+    def union(self, a: str, b: str) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[ra] = rb
+
+    def group(self, name: str) -> set[str]:
+        root = self.find(name)
+        return {n for n in self._parent if self.find(n) == root} | {name}
+
+
+def _call_arg_names(call: ast.Call) -> list[str]:
+    names = [a.id for a in call.args if isinstance(a, ast.Name)]
+    names.extend(k.value.id for k in call.keywords
+                 if isinstance(k.value, ast.Name))
+    return names
+
+
+def _pin_target(assign: ast.Assign) -> ast.Name | None:
+    """The buffer name bound by a pin assignment.  ``buf, view = _pin(...)``
+    binds the buffer first, so a tuple target contributes its first name."""
+    target = assign.targets[0]
+    if isinstance(target, ast.Name):
+        return target
+    if isinstance(target, ast.Tuple) and target.elts \
+            and isinstance(target.elts[0], ast.Name):
+        return target.elts[0]
+    return None
+
+
+def _is_unpin_of(stmt: ast.stmt, names: set[str]) -> bool:
+    if not isinstance(stmt, ast.Expr) or not isinstance(stmt.value, ast.Call):
+        return False
+    call = stmt.value
+    if callee_name(call) not in UNPIN_CALLEES:
+        return False
+    return any(n in names for n in _call_arg_names(call))
+
+
+def _statement_bodies(fn: ast.AST) -> Iterator[list[ast.stmt]]:
+    """Every ordered statement list in the function (bodies, else/finally
+    blocks, handler bodies), without entering nested scopes."""
+    for node in [fn, *walk_function_scope(fn)]:
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(node, attr, None)
+            if isinstance(block, list) and block \
+                    and isinstance(block[0], ast.stmt):
+                yield block
+
+
+class UnbalancedPinRule(Rule):
+    rule_id = "R001"
+    summary = "pin() without a matching unpin() on every path"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FileContext,
+                        fn: ast.AST) -> Iterator[Violation]:
+        pin_assigns: list[tuple[ast.Assign, str]] = []
+        aliases = _Aliases()
+        cleanup_unpinned: set[str] = set()
+        escaped: set[str] = set()
+
+        for node in walk_function_scope(fn):
+            if isinstance(node, ast.Assign):
+                self._note_assign(node, pin_assigns, aliases, escaped)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = getattr(node, "value", None)
+                if value is not None:
+                    escaped.update(n.id for n in ast.walk(value)
+                                   if isinstance(n, ast.Name))
+            elif isinstance(node, ast.Call):
+                name = callee_name(node)
+                if name is not None and name not in BORROWING_CALLEES:
+                    escaped.update(_call_arg_names(node))
+            elif isinstance(node, ast.Try):
+                self._note_cleanup(node, cleanup_unpinned)
+
+        if not pin_assigns:
+            return
+
+        bodies = list(_statement_bodies(fn))
+        for assign, var in pin_assigns:
+            group = aliases.group(var)
+            if group & (cleanup_unpinned | escaped):
+                continue
+            if self._unpinned_immediately(assign, group, bodies):
+                continue
+            yield self.violation(
+                ctx, assign,
+                f"'{var}' is pinned here but no path guarantees its unpin: "
+                f"wrap in try/finally, use file.pinned(), or transfer "
+                f"ownership explicitly",
+            )
+
+    @staticmethod
+    def _note_assign(node: ast.Assign,
+                     pin_assigns: list[tuple[ast.Assign, str]],
+                     aliases: _Aliases, escaped: set[str]) -> None:
+        value = node.value
+        if isinstance(value, ast.Call) and callee_name(value) in PIN_CALLEES:
+            target = _pin_target(node)
+            if target is not None:
+                pin_assigns.append((node, target.id))
+            return
+        # alias propagation: name-to-name and tuple-to-tuple rebinds
+        target = node.targets[0]
+        if isinstance(target, ast.Name) and isinstance(value, ast.Name):
+            aliases.union(target.id, value.id)
+        elif isinstance(target, ast.Tuple) and isinstance(value, ast.Tuple) \
+                and len(target.elts) == len(value.elts):
+            for t, v in zip(target.elts, value.elts):
+                if isinstance(t, ast.Name) and isinstance(v, ast.Name):
+                    aliases.union(t.id, v.id)
+        # storing a buffer into an attribute or container transfers ownership
+        for t in node.targets:
+            if isinstance(t, (ast.Attribute, ast.Subscript)):
+                escaped.update(n.id for n in ast.walk(value)
+                               if isinstance(n, ast.Name))
+
+    @staticmethod
+    def _note_cleanup(node: ast.Try, cleanup_unpinned: set[str]) -> None:
+        """Collect names unpinned in ``finally`` blocks and in ``except``
+        handlers that re-raise — both guarantee error-path release."""
+        for stmt in node.finalbody:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) \
+                        and callee_name(sub) in UNPIN_CALLEES:
+                    cleanup_unpinned.update(_call_arg_names(sub))
+        for handler in node.handlers:
+            if not any(isinstance(s, ast.Raise)
+                       for stmt in handler.body for s in ast.walk(stmt)):
+                continue
+            for stmt in handler.body:
+                for sub in ast.walk(stmt):
+                    if isinstance(sub, ast.Call) \
+                            and callee_name(sub) in UNPIN_CALLEES:
+                        cleanup_unpinned.update(_call_arg_names(sub))
+
+    @staticmethod
+    def _unpinned_immediately(assign: ast.Assign, group: set[str],
+                              bodies: list[list[ast.stmt]]) -> bool:
+        for block in bodies:
+            for i, stmt in enumerate(block):
+                if stmt is assign:
+                    return i + 1 < len(block) \
+                        and _is_unpin_of(block[i + 1], group)
+        return False

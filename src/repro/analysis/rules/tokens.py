@@ -1,0 +1,69 @@
+"""R004 — sync-token comparisons go through the SyncState helpers.
+
+The paper's durability test (3.2) is subtle: "page token equals the global
+counter" means *never synced*, tokens from before the last crash belong to
+a dead incarnation, and the counter is re-seeded past the persisted
+maximum after recovery.  Raw ``<`` / ``>=`` / ``==`` on tokens scattered
+through tree code re-derive that arithmetic locally and get it wrong one
+incarnation later; the helpers on :class:`repro.storage.sync.SyncState`
+(``synced_since_init``, ``is_current``, ``in_current_incarnation``,
+``predates_last_crash``) and the module-level ``tokens_match`` /
+``token_older`` are the only sanctioned spellings.
+
+``storage/sync.py`` itself is exempt — it is where the helpers live.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import FileContext, Rule, Violation, dotted_name
+
+EXEMPT_FILES = ("storage/sync.py",)
+
+_TOKEN_NAME_SUFFIX = "token"
+_TOKEN_BARE_NAMES = {"token", "tok"}
+
+_FLAGGED_OPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+
+def _is_token_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Attribute):
+        attr = node.attr
+        if attr.endswith(_TOKEN_NAME_SUFFIX) or attr in _TOKEN_BARE_NAMES:
+            return True
+        if attr == "counter":
+            # state.counter / sync_state.counter / engine.sync_state.counter
+            owner = dotted_name(node.value) or ""
+            return owner.endswith("state") or owner.endswith("sync_state")
+        return False
+    if isinstance(node, ast.Name):
+        return node.id in _TOKEN_BARE_NAMES \
+            or node.id.endswith("_" + _TOKEN_NAME_SUFFIX)
+    return False
+
+
+class RawTokenComparisonRule(Rule):
+    rule_id = "R004"
+    summary = "raw comparison on sync tokens instead of SyncState helpers"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        normalized = ctx.rel_path.replace("\\", "/")
+        if any(normalized.endswith(name) for name in EXEMPT_FILES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            if not any(_is_token_expr(op) for op in operands):
+                continue
+            if not any(isinstance(op, _FLAGGED_OPS) for op in node.ops):
+                continue
+            yield self.violation(
+                ctx, node,
+                "raw sync-token comparison — use the SyncState helpers "
+                "(synced_since_init / is_current / in_current_incarnation / "
+                "predates_last_crash) or tokens_match / token_older from "
+                "repro.storage.sync",
+            )

@@ -80,8 +80,9 @@ def _poison_a_page(tree, poison: bytes) -> None:
             buf = tree.file.pin(child)
             view = NodeView(buf.data, tree.page_size)
         offset = view.item_off(view.n_keys - 1)
-        # corrupt the key bytes in place (length prefix is 2 bytes)
-        buf.data[offset + 2: offset + 2 + len(poison)] = poison
+        # corrupt the key bytes in place (length prefix is 2 bytes);
+        # deliberately bypasses the page layer — this *is* the fault
+        buf.data[offset + 2: offset + 2 + len(poison)] = poison  # lint: disable=R002
         tree.file.mark_dirty(buf)
     finally:
         tree.file.unpin(buf)

@@ -41,7 +41,14 @@ from ..errors import (
     RecoveryError,
     TreeError,
 )
-from ..storage import is_zeroed, try_read_header, valid_magic
+from ..storage import (
+    copy_page,
+    is_zeroed,
+    token_older,
+    tokens_match,
+    try_read_header,
+    valid_magic,
+)
 from ..storage.buffer_pool import Buffer
 from ..storage.engine import StorageEngine
 from ..storage.pagefile import PageFile
@@ -313,7 +320,7 @@ class BLinkTree:
         if rview.page_type not in (PAGE_LEAF, PAGE_INTERNAL):
             return False
         # a recycled stale image necessarily predates the root change
-        return rview.sync_token >= meta.root_token
+        return not token_older(rview.sync_token, meta.root_token)
 
     def _repair_root(self, meta: MetaView, rbuf: Buffer,
                      rview: NodeView) -> None:
@@ -324,7 +331,7 @@ class BLinkTree:
         if prev != INVALID_PAGE:
             pbuf = self.file.pin(prev)
             try:
-                rbuf.data[:] = pbuf.data
+                copy_page(rbuf.data, pbuf.data)
             finally:
                 self._unpin(pbuf)
             rview.sync_token = self._token()
@@ -555,7 +562,8 @@ class BLinkTree:
         try:
             nview = NodeView(nbuf.data, self.page_size)
             broken = (not valid_magic(nbuf.data)
-                      or nview.left_peer_token != view.right_peer_token)
+                      or not tokens_match(nview.left_peer_token,
+                                          view.right_peer_token))
             if not broken:
                 return nxt
         finally:
@@ -642,7 +650,7 @@ class BLinkTree:
         state = self.engine.sync_state
         # pages (re)initialized since recovery carry tokens at or above the
         # recovery-init value; only pre-crash pages need the walk
-        if leaf.view.sync_token >= state.last_crash_token:
+        if state.in_current_incarnation(leaf.view.sync_token):
             self._peer_path_checked.add(page_no)
             return
         episode_token = leaf.view.sync_token
@@ -701,7 +709,7 @@ class BLinkTree:
                 their_token = None if dead else (
                     nview.right_peer_token if left
                     else nview.left_peer_token)
-                if dead or their_token != our_token:
+                if dead or not tokens_match(their_token, our_token):
                     self._unpin(nbuf)
                     if left:
                         healed = self._heal_left_link(page_no, buf, view)
@@ -714,10 +722,11 @@ class BLinkTree:
                     nview = NodeView(nbuf.data, self.page_size)
                 already_checked = nxt in self._peer_path_checked
                 tok = nview.sync_token
-                if episode_token is None and tok < state.last_crash_token:
+                if episode_token is None and state.predates_last_crash(tok):
                     episode_token = tok  # lazy bind for repair-time walks
-                keep_going = (tok == episode_token
-                              or tok >= state.last_crash_token)
+                keep_going = (tokens_match(tok, episode_token)
+                              if episode_token is not None else False) \
+                    or state.in_current_incarnation(tok)
                 if not keep_going or already_checked:
                     # do not mark a page we merely stop at: only pages we
                     # walk *through* have both their links verified
@@ -840,7 +849,7 @@ class BLinkTree:
             # into slot 0, then drop entry 1 — every intermediate image
             # routes all keys somewhere
             pview.set_child_at(0, pview.child_at(1))
-            self._absorb_slot_zero_aux(pview)
+            self._absorb_slot_zero_aux(parent)
             pview.delete_item(1)
         else:
             pview.delete_item(slot)
@@ -857,11 +866,13 @@ class BLinkTree:
         elif idx - 1 == 0 and pview.n_keys == 1 and pview.level > 0:
             self._collapse_root(parent)
 
-    def _absorb_slot_zero_aux(self, pview: NodeView) -> None:
+    def _absorb_slot_zero_aux(self, parent: PathEntry) -> None:
         """Shadow trees also move entry 1's prevPtr into slot 0; default
         trees have nothing extra to move."""
+        pview = parent.view
         if pview.shadow_items:
             pview.set_prev_at(0, pview.prev_at(1))
+            self._dirty(parent.buffer)
 
     def _unlink_peers(self, entry: PathEntry) -> None:
         """Splice the page out of the peer chain, restamping link tokens."""
@@ -1008,7 +1019,8 @@ class BLinkTree:
                 if strict_tokens and nxt != INVALID_PAGE:
                     nbuf, nview = self._pin(nxt)
                     try:
-                        if nview.left_peer_token != view.right_peer_token:
+                        if not tokens_match(nview.left_peer_token,
+                                            view.right_peer_token):
                             raise TreeError(
                                 f"peer tokens disagree on link "
                                 f"{page_no}->{nxt}")

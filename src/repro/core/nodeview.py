@@ -322,6 +322,40 @@ class NodeView:
         self.buf[self.lower: upper] = bytes(upper - self.lower)
         self.upper = upper
 
+    def overwrite_region(self, offset: int, blob: bytes) -> None:
+        """Overwrite raw bytes inside the item heap region in place.
+
+        The no-overwrite heap uses this to stamp ``xmax`` into an existing
+        tuple header.  Restricted to the item heap (``upper`` .. page end)
+        so header and line-table updates keep going through the ordered
+        mutators above; the caller still marks the buffer dirty.
+        """
+        if offset < self.upper or offset + len(blob) > self.page_size:
+            raise PageError(
+                f"overwrite_region [{offset}, {offset + len(blob)}) outside "
+                f"the item heap [{self.upper}, {self.page_size})"
+            )
+        self.buf[offset: offset + len(blob)] = blob
+
+    def set_dense_entry(self, index: int, entry_size: int,
+                        blob: bytes) -> None:
+        """Store a fixed-stride entry on a dense-array page.
+
+        Pages that carry an unordered fixed-size array instead of a line
+        table (the extendible hash directory) mutate entries through
+        this; the header stays out of reach and the caller still marks
+        the buffer dirty.
+        """
+        if len(blob) != entry_size:
+            raise PageError(
+                f"dense entry is {len(blob)} bytes, stride {entry_size}")
+        offset = P.HEADER_SIZE + index * entry_size
+        if offset < P.HEADER_SIZE or offset + entry_size > self.page_size:
+            raise PageError(
+                f"dense entry {index} (stride {entry_size}) outside the "
+                f"page body [{P.HEADER_SIZE}, {self.page_size})")
+        self.buf[offset: offset + entry_size] = blob
+
     def _store_item(self, item: bytes) -> int:
         upper = self.upper - len(item)
         if upper < self.lower + P.LINE_ENTRY_SIZE:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
 from ..errors import RecoveryError, TreeError
-from ..storage import is_zeroed, try_read_header, valid_magic
+from ..storage import is_zeroed, token_older, try_read_header, valid_magic
 from ..storage.buffer_pool import Buffer
 from ..storage.page import LINE_ENTRY_SIZE
 from .btree_base import BLinkTree, PathEntry
@@ -91,12 +91,12 @@ class ReorgBLinkTree(BLinkTree):
         """
         state = self.engine.sync_state
         token = view.sync_token
-        if token == state.counter:
+        if state.is_current(token):
             # case 1: "The DBMS must block for a sync operation"
             self.stats_sync_stalls += 1
             self.sync_hook()
             view.reclaim_backup()
-        elif token >= state.last_crash_token:
+        elif state.in_current_incarnation(token):
             # case 2: the split is durable; the duplicates can go
             view.reclaim_backup()
         else:
@@ -121,7 +121,13 @@ class ReorgBLinkTree(BLinkTree):
         live_low = view.live_is_low
         backup_blobs = view.backup_items()
         if not backup_blobs:
+            # prev_n_keys > 0 with no backup entries: reclaim zeroes the
+            # backup bookkeeping, a header mutation that must be written
+            # out or the durable image keeps advertising a stale backup
+            # (found by lint R003 / the runtime sanitizer: the
+            # _follow_moves callers never dirty the buffer themselves)
             view.reclaim_backup()
+            self._dirty(buf)
             return
         backup_min = I.item_key(backup_blobs[0], 0)
         if live_low:
@@ -163,7 +169,7 @@ class ReorgBLinkTree(BLinkTree):
             try:
                 sview = NodeView(sbuf.data, self.page_size)
                 lost = (not valid_magic(sbuf.data)
-                        or sview.sync_token < view.sync_token)
+                        or token_older(sview.sync_token, view.sync_token))
                 if lost:
                     self._regenerate_sibling(page_no, view, sibling, sbuf,
                                              sview)

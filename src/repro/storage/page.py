@@ -232,6 +232,21 @@ def write_header(buf: bytearray, header: PageHeader) -> None:
     )
 
 
+def copy_page(dst: bytearray, src: bytes | bytearray | memoryview) -> None:
+    """Overwrite the whole of *dst* with the image in *src*.
+
+    This is the sanctioned spelling of a whole-page copy (root repair
+    rebuilding the root from an intact peer image, for example); callers
+    outside the page layer must not poke page bytes directly (lint R002),
+    and must still mark the destination buffer dirty themselves.
+    """
+    if len(dst) != len(src):
+        raise PageError(
+            f"page copy size mismatch: {len(src)} bytes into {len(dst)}"
+        )
+    dst[:] = src
+
+
 def is_zeroed(buf: bytes | bytearray | memoryview) -> bool:
     """True if the page is all zero bytes (never written / lost in crash).
 

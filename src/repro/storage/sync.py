@@ -27,6 +27,23 @@ from typing import Callable
 from ..constants import SYNC_COUNTER_BATCH
 
 
+def tokens_match(a: int, b: int) -> bool:
+    """True if two sync tokens were captured in the same sync window.
+
+    Token-vs-token comparisons (peer-link tokens, episode checks) must go
+    through here rather than raw ``==`` so every spelling of token
+    arithmetic lives in this module — the lint rule R004 enforces that.
+    """
+    return a == b
+
+
+def token_older(a: int, b: int) -> bool:
+    """True if token *a* was captured in a strictly earlier sync window
+    than token *b*.  Sound because the counter only ever advances — even
+    across crashes, which restart it from the persisted maximum."""
+    return a < b
+
+
 class SyncState:
     """In-memory sync counter plus its persistence discipline.
 
@@ -113,10 +130,23 @@ class SyncState:
         current global sync counter")."""
         return page_token != self.counter
 
+    def is_current(self, page_token: int) -> bool:
+        """True if the page was initialized in the still-open sync window —
+        the negation of :meth:`synced_since_init`, spelled out because the
+        two readings ("never synced" vs "synced at least once") are the
+        durability test the whole recovery protocol hangs on."""
+        return page_token == self.counter
+
     def predates_last_crash(self, page_token: int) -> bool:
         """True if the page was last initialized before the most recent
         crash (its split may have been interrupted)."""
         return page_token < self.last_crash_token
+
+    def in_current_incarnation(self, page_token: int) -> bool:
+        """True if the page was initialized after the most recent crash,
+        i.e. by this incarnation of the database — the negation of
+        :meth:`predates_last_crash`."""
+        return page_token >= self.last_crash_token
 
     # -- persistence of the maximum ------------------------------------------
 

@@ -25,7 +25,8 @@ from ..constants import INVALID_PAGE, PAGE_CONTROL, PAGE_INTERNAL, PAGE_LEAF
 from ..core.keys import FULL_BOUNDS, MIN_KEY, KeyBounds
 from ..core.meta import MetaView
 from ..core.nodeview import NodeView
-from ..storage import valid_magic
+from ..errors import ReproError
+from ..storage import tokens_match, valid_magic
 
 
 @dataclass
@@ -82,7 +83,7 @@ def fsck_tree(tree, *, check_peers: bool = True) -> FsckReport:
         meta = MetaView(mbuf.data, page_size)
         try:
             meta.check()
-        except Exception as exc:
+        except ReproError as exc:
             report.add("error", 0, f"meta page invalid: {exc}")
             return report
         root = meta.root
@@ -201,8 +202,8 @@ def _check_chain(tree, report: FsckReport, leaves: list[int]) -> None:
                 try:
                     nview = NodeView(nbuf.data, tree.page_size)
                     if (valid_magic(nbuf.data)
-                            and nview.left_peer_token
-                            != view.right_peer_token):
+                            and not tokens_match(nview.left_peer_token,
+                                                 view.right_peer_token)):
                         report.add("warn", page_no,
                                    f"peer link tokens disagree toward "
                                    f"{nxt} (scan-time healing would fix)")
@@ -247,7 +248,7 @@ def main() -> None:  # pragma: no cover - demo entry point
         try:
             tree2.delete(i)
             tree2.insert(i, TID(1, i % 100))
-        except Exception:
+        except ReproError:
             pass
     engine2.sync()
     print(fsck_tree(tree2).render())

@@ -93,7 +93,8 @@ class HeapRelation:
             xmin, xmax, length = _TUPLE_HEAD.unpack_from(buf.data, offset)
             if xmax != 0:
                 raise TreeError(f"tuple at {tid} already deleted by {xmax}")
-            _TUPLE_HEAD.pack_into(buf.data, offset, xmin, xid, length)
+            view.overwrite_region(
+                offset, _TUPLE_HEAD.pack(xmin, xid, length))
             self.file.mark_dirty(buf)
         finally:
             self.file.unpin(buf)

@@ -1,0 +1,345 @@
+"""Unit tests for the crash-safety lint: each rule gets a violating and a
+conforming sample, plus pragma suppression and the CLI front end."""
+
+import json
+import textwrap
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.exceptions import SwallowedErrorRule
+from repro.analysis.rules.mutation import (
+    DirectDataMutationRule,
+    MissingMarkDirtyRule,
+)
+from repro.analysis.rules.pins import UnbalancedPinRule
+from repro.analysis.rules.tokens import RawTokenComparisonRule
+from repro.tools.lint import main as lint_main
+
+
+def run(tmp_path, source, rules, filename="mod.py"):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], rules)
+
+
+def rule_ids(report):
+    return [v.rule_id for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# R001 — pin/unpin pairing
+# ---------------------------------------------------------------------------
+
+def test_r001_flags_unguarded_pin(tmp_path):
+    report = run(tmp_path, """
+        def bad(file, page):
+            buf = file.pin(page)
+            first = buf.data[0]
+            file.unpin(buf)
+            return first
+    """, [UnbalancedPinRule()])
+    assert rule_ids(report) == ["R001"]
+    assert "'buf'" in report.violations[0].message
+
+
+def test_r001_accepts_try_finally(tmp_path):
+    report = run(tmp_path, """
+        def good(file, page):
+            buf = file.pin(page)
+            try:
+                return buf.data[0]
+            finally:
+                file.unpin(buf)
+    """, [UnbalancedPinRule()])
+    assert report.ok
+
+
+def test_r001_accepts_immediate_unpin(tmp_path):
+    report = run(tmp_path, """
+        def good(file, page):
+            buf = file.pin(page)
+            file.unpin(buf)
+    """, [UnbalancedPinRule()])
+    assert report.ok
+
+
+def test_r001_accepts_ownership_transfer(tmp_path):
+    report = run(tmp_path, """
+        def good(file, page):
+            buf = file.pin(page)
+            return buf
+
+        def also_good(file, page, path):
+            buf = file.pin(page)
+            path.append(PathEntry(buf))
+    """, [UnbalancedPinRule()])
+    assert report.ok
+
+
+def test_r001_tracks_aliases_and_tuple_binds(tmp_path):
+    report = run(tmp_path, """
+        def good(self, page):
+            buf, view = self._pin(page)
+            try:
+                return view.n_keys
+            finally:
+                self._unpin(buf)
+
+        def bad(self, page):
+            buf, view = self._pin(page)
+            count = view.n_keys
+            self._note(count)
+            return count
+    """, [UnbalancedPinRule()])
+    assert rule_ids(report) == ["R001"]
+    assert report.violations[0].line == 10  # the pin inside bad(), not good()
+
+
+# ---------------------------------------------------------------------------
+# R002 — raw buf.data mutation outside the page layer
+# ---------------------------------------------------------------------------
+
+def test_r002_flags_raw_data_store(tmp_path):
+    report = run(tmp_path, """
+        def bad(buf):
+            buf.data[0:2] = b"xx"
+    """, [DirectDataMutationRule()])
+    assert rule_ids(report) == ["R002"]
+
+
+def test_r002_flags_pack_into(tmp_path):
+    report = run(tmp_path, """
+        import struct
+
+        def bad(buf, offset):
+            struct.Struct("<I").pack_into(buf.data, offset, 7)
+    """, [DirectDataMutationRule()])
+    assert rule_ids(report) == ["R002"]
+
+
+def test_r002_exempts_the_page_layer(tmp_path):
+    report = run(tmp_path, """
+        def fine_here(buf):
+            buf.data[0:2] = b"xx"
+    """, [DirectDataMutationRule()], filename="storage/page.py")
+    assert report.ok
+
+
+def test_r002_allows_reads(tmp_path):
+    report = run(tmp_path, """
+        def good(buf):
+            return buf.data[0:2]
+    """, [DirectDataMutationRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R003 — mutation without mark_dirty in the same scope
+# ---------------------------------------------------------------------------
+
+def test_r003_flags_mutator_without_dirty(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, buf, view):
+            view.insert_item(0, b"key")
+    """, [MissingMarkDirtyRule()])
+    assert rule_ids(report) == ["R003"]
+
+
+def test_r003_accepts_mark_dirty_in_scope(tmp_path):
+    report = run(tmp_path, """
+        def good(self, buf, view):
+            view.insert_item(0, b"key")
+            self.file.mark_dirty(buf)
+    """, [MissingMarkDirtyRule()])
+    assert report.ok
+
+
+def test_r003_accepts_born_dirty_alloc(tmp_path):
+    report = run(tmp_path, """
+        def good(self):
+            buf, view = self._alloc(1, 0)
+            view.insert_item(0, b"key")
+    """, [MissingMarkDirtyRule()])
+    assert report.ok
+
+
+def test_r003_flags_header_property_store(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, view, peer):
+            view.right_peer = peer
+    """, [MissingMarkDirtyRule()])
+    assert rule_ids(report) == ["R003"]
+
+
+def test_r003_exempts_the_page_layer(tmp_path):
+    report = run(tmp_path, """
+        def fine_here(self, view):
+            view.insert_item(0, b"key")
+    """, [MissingMarkDirtyRule()], filename="core/nodeview.py")
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R004 — raw sync-token comparisons
+# ---------------------------------------------------------------------------
+
+def test_r004_flags_raw_token_comparison(tmp_path):
+    report = run(tmp_path, """
+        def bad(view, token):
+            return view.sync_token >= token
+    """, [RawTokenComparisonRule()])
+    assert rule_ids(report) == ["R004"]
+
+
+def test_r004_flags_counter_comparison(tmp_path):
+    report = run(tmp_path, """
+        def bad(view, state):
+            return view.sync_token == state.counter
+    """, [RawTokenComparisonRule()])
+    assert rule_ids(report) == ["R004"]
+
+
+def test_r004_accepts_helper_calls(tmp_path):
+    report = run(tmp_path, """
+        def good(view, state, token):
+            if state.is_current(view.sync_token):
+                return True
+            return tokens_match(view.sync_token, token)
+    """, [RawTokenComparisonRule()])
+    assert report.ok
+
+
+def test_r004_exempts_sync_module(tmp_path):
+    report = run(tmp_path, """
+        def helper(self, token):
+            return token < self.counter
+    """, [RawTokenComparisonRule()], filename="storage/sync.py")
+    assert report.ok
+
+
+def test_r004_ignores_non_token_comparisons(tmp_path):
+    report = run(tmp_path, """
+        def good(view):
+            return view.n_keys >= 4
+    """, [RawTokenComparisonRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R005 — swallowed protocol errors
+# ---------------------------------------------------------------------------
+
+def test_r005_flags_bare_except(tmp_path):
+    report = run(tmp_path, """
+        def bad(op):
+            try:
+                op()
+            except:
+                pass
+    """, [SwallowedErrorRule()])
+    assert rule_ids(report) == ["R005"]
+
+
+def test_r005_flags_swallowed_exception(tmp_path):
+    report = run(tmp_path, """
+        def bad(op):
+            try:
+                op()
+            except Exception:
+                return None
+    """, [SwallowedErrorRule()])
+    assert rule_ids(report) == ["R005"]
+
+
+def test_r005_accepts_reraise_and_specific(tmp_path):
+    report = run(tmp_path, """
+        def good(op, file, buf):
+            try:
+                op()
+            except BaseException:
+                file.unpin(buf)
+                raise
+
+        def also_good(op):
+            try:
+                op()
+            except ReproError:
+                return None
+    """, [SwallowedErrorRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# pragmas
+# ---------------------------------------------------------------------------
+
+def test_line_pragma_suppresses_that_line_only(tmp_path):
+    report = run(tmp_path, """
+        def f(buf):
+            buf.data[0:2] = b"xx"  # lint: disable=R002
+            buf.data[2:4] = b"yy"
+    """, [DirectDataMutationRule()])
+    assert len(report.violations) == 1
+    assert report.violations[0].line == 4
+
+
+def test_file_pragma_suppresses_whole_file(tmp_path):
+    report = run(tmp_path, """
+        # this module pokes bytes on purpose
+        # lint: disable=R002
+
+        def f(buf):
+            buf.data[0:2] = b"xx"
+            buf.data[2:4] = b"yy"
+    """, [DirectDataMutationRule()])
+    assert report.ok
+
+
+def test_pragma_for_other_rule_does_not_suppress(tmp_path):
+    report = run(tmp_path, """
+        def f(buf):
+            buf.data[0:2] = b"xx"  # lint: disable=R003
+    """, [DirectDataMutationRule()])
+    assert rule_ids(report) == ["R002"]
+
+
+# ---------------------------------------------------------------------------
+# the repository itself and the CLI
+# ---------------------------------------------------------------------------
+
+def test_repository_is_lint_clean():
+    report = lint_paths(["src"], all_rules())
+    assert report.ok, report.render_text()
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(buf):\n    buf.data[0] = 1\n")
+    assert lint_main([str(bad)]) == 1
+    capsys.readouterr()
+
+    assert lint_main([str(bad), "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    assert payload["violations"][0]["rule"] == "R002"
+
+    good = tmp_path / "good.py"
+    good.write_text("def f():\n    return 1\n")
+    assert lint_main([str(good)]) == 0
+    capsys.readouterr()
+
+    assert lint_main(["--rules", "R999"]) == 2
+
+
+def test_cli_rule_subset_and_listing(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(buf):\n    buf.data[0] = 1\n")
+    # R002 finding is invisible to an R005-only run
+    assert lint_main([str(bad), "--rules", "R005"]) == 0
+    capsys.readouterr()
+
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R002", "R003", "R004", "R005"):
+        assert rule_id in out

@@ -1,0 +1,200 @@
+"""The runtime sanitizer catches deliberately injected protocol violations.
+
+Each test builds a healthy engine under ``sanitized()`` and then breaks one
+rule on purpose: the sanitizer must name the violation, and the matching
+conforming sequence must pass untouched.
+"""
+
+import gc
+
+import pytest
+
+from repro import TREE_CLASSES, StorageEngine, TID
+from repro.analysis.sanitizer import SanitizerError, sanitized, suspended
+from repro.constants import PAGE_LEAF
+from repro.core.meta import MetaView
+from repro.core.nodeview import NodeView
+
+PAGE = 512
+
+
+def make_tree(kind="shadow", name="ix", seed=7):
+    engine = StorageEngine.create(page_size=PAGE, seed=seed)
+    tree = TREE_CLASSES[kind].create(engine, name, codec="uint32")
+    for i in range(50):
+        tree.insert(i, TID(1, i))
+    engine.sync()
+    return engine, tree
+
+
+# ---------------------------------------------------------------------------
+# mutated-but-clean frames (runtime R003)
+# ---------------------------------------------------------------------------
+
+def test_mutation_without_mark_dirty_fails_the_next_sync():
+    with sanitized():
+        engine, tree = make_tree()
+        buf = tree.file.pin_meta()
+        buf.data[100] ^= 0xFF  # mutate, "forget" mark_dirty
+        tree.file.unpin(buf)
+        with pytest.raises(SanitizerError, match="never marked dirty"):
+            engine.sync()
+
+
+def test_marked_dirty_mutation_is_fine():
+    with sanitized():
+        engine, tree = make_tree()
+        buf = tree.file.pin_meta()
+        buf.data[100] ^= 0xFF
+        tree.file.mark_dirty(buf)
+        tree.file.unpin(buf)
+        engine.sync()
+
+
+def test_note_volatile_exempts_the_deliberate_divergence():
+    with sanitized():
+        engine, tree = make_tree()
+        buf = tree.file.pin_meta()
+        buf.data[100] ^= 0xFF
+        tree.file.pool.note_volatile(buf)
+        tree.file.unpin(buf)
+        engine.sync()  # exempted: the divergence is declared
+        # marking the frame dirty retires the declaration and the next
+        # sync writes the bytes out, converging buffer and disk again
+        buf = tree.file.pin_meta()
+        tree.file.mark_dirty(buf)
+        tree.file.unpin(buf)
+        engine.sync()
+
+
+def test_suspended_disables_the_checks():
+    with sanitized():
+        engine, tree = make_tree()
+        buf = tree.file.pin_meta()
+        buf.data[100] ^= 0xFF
+        tree.file.unpin(buf)
+        with suspended():
+            engine.sync()
+
+
+# ---------------------------------------------------------------------------
+# pin balance (runtime R001)
+# ---------------------------------------------------------------------------
+
+def test_leaked_pin_is_caught_at_op_exit():
+    with sanitized():
+        engine, tree = make_tree()
+        tree.file.unpin = lambda buf: None  # drop every release
+        with pytest.raises(SanitizerError, match="pin leaked"):
+            tree.lookup(3)
+
+
+def test_balanced_ops_pass():
+    with sanitized():
+        engine, tree = make_tree()
+        assert tree.lookup(3) == TID(1, 3)
+        tree.insert(1000, TID(2, 1))
+        tree.delete(1000)
+
+
+# ---------------------------------------------------------------------------
+# premature backup-space reclaim (Section 3.4)
+# ---------------------------------------------------------------------------
+
+def test_reclaim_of_never_synced_backup_is_caught():
+    gc.collect()  # the check needs exactly one live engine
+    with sanitized():
+        engine, tree = make_tree(kind="reorg")
+        state = engine.sync_state
+        raw = bytearray(PAGE)
+        view = NodeView(raw, PAGE)
+        # a freshly split page: its token still equals the counter, so no
+        # sync has committed the split — the backup keys are the only
+        # durable copy and reclaiming them now is the paper's 3.4 bug
+        view.init_page(PAGE_LEAF, sync_token=state.token())
+        view.prev_n_keys = 3
+        with pytest.raises(SanitizerError, match="never synced"):
+            view.reclaim_backup()
+
+
+def test_reclaim_after_a_sync_is_fine():
+    gc.collect()
+    with sanitized():
+        engine, tree = make_tree(kind="reorg")
+        state = engine.sync_state
+        raw = bytearray(PAGE)
+        view = NodeView(raw, PAGE)
+        view.init_page(PAGE_LEAF, sync_token=state.token())
+        view.prev_n_keys = 3
+        state.note_split()
+        engine.sync()  # advances the counter: the split token is durable
+        view.reclaim_backup()
+        assert view.prev_n_keys == 0
+
+
+# ---------------------------------------------------------------------------
+# durable backup-clear ordering (SanitizedDisk)
+# ---------------------------------------------------------------------------
+
+def _backup_page(state, *, prev_n_keys, new_page):
+    raw = bytearray(PAGE)
+    view = NodeView(raw, PAGE)
+    view.init_page(PAGE_LEAF, sync_token=state.token())
+    view.prev_n_keys = prev_n_keys
+    view.new_page = new_page
+    return raw
+
+
+def test_disk_rejects_backup_clear_while_sibling_not_durable():
+    gc.collect()
+    with sanitized():
+        engine, tree = make_tree(kind="reorg")
+        disk = tree.file.disk
+        state = engine.sync_state
+        disk.write_page(5, bytes(_backup_page(state, prev_n_keys=3,
+                                              new_page=7)))
+        clear = bytearray(PAGE)
+        NodeView(clear, PAGE).init_page(PAGE_LEAF, sync_token=state.token())
+        with pytest.raises(SanitizerError, match="sibling 7 is not durable"):
+            disk.write_page(5, bytes(clear))
+
+
+def test_disk_accepts_backup_clear_once_sibling_is_durable():
+    gc.collect()
+    with sanitized():
+        engine, tree = make_tree(kind="reorg")
+        disk = tree.file.disk
+        state = engine.sync_state
+        disk.write_page(5, bytes(_backup_page(state, prev_n_keys=3,
+                                              new_page=7)))
+        sibling = bytearray(PAGE)
+        NodeView(sibling, PAGE).init_page(PAGE_LEAF,
+                                          sync_token=state.token())
+        disk.write_page(7, bytes(sibling))
+        clear = bytearray(PAGE)
+        NodeView(clear, PAGE).init_page(PAGE_LEAF, sync_token=state.token())
+        disk.write_page(5, bytes(clear))  # sibling durable: legal
+
+
+# ---------------------------------------------------------------------------
+# free-time checks
+# ---------------------------------------------------------------------------
+
+def test_freeing_the_live_root_is_caught():
+    with sanitized():
+        engine, tree = make_tree()
+        mbuf = tree.file.pin_meta()
+        try:
+            root = MetaView(mbuf.data, PAGE).root
+        finally:
+            tree.file.unpin(mbuf)
+        with pytest.raises(SanitizerError, match="live root"):
+            tree.file.free(root)
+
+
+def test_normal_frees_pass():
+    with sanitized():
+        engine, tree = make_tree()
+        for i in range(50):
+            tree.delete(i)
+        engine.sync()  # deletes reclaim pages through the legal paths

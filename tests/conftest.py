@@ -7,9 +7,27 @@ hundred keys produce multi-level trees.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro import TREE_CLASSES, StorageEngine, TID
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _sanitizer():
+    """Run the whole suite under the runtime sanitizer when
+    ``REPRO_SANITIZE=1`` — every engine built by any test then checks pin
+    balance, mutated-but-clean frames, and premature backup reclaims."""
+    if os.environ.get("REPRO_SANITIZE") != "1":
+        yield
+        return
+    from repro.analysis import sanitizer
+    sanitizer.install()
+    try:
+        yield
+    finally:
+        sanitizer.uninstall()
 
 SMALL_PAGE = 512
 ALL_KINDS = ("normal", "shadow", "reorg", "hybrid")
