@@ -13,6 +13,9 @@ def test_recoverable_campaign(benchmark, kind):
         kwargs={"kind": kind, "runs": 15, "n": 400, "page_size": 512})
     benchmark.extra_info["crashes"] = result.crashes
     benchmark.extra_info["repairs"] = dict(result.repairs)
+    benchmark.extra_info["repair_us_avg"] = {
+        k: round(1e6 * v / result.repairs[k], 1)
+        for k, v in result.repair_seconds.items() if result.repairs.get(k)}
     benchmark.extra_info["mean_restart_ms"] = round(
         result.mean_restart_ms, 2)
     assert result.crashes >= 8

@@ -18,6 +18,7 @@ from repro import (
     TREE_CLASSES,
 )
 from repro.core.nodeview import NodeView
+from repro.obs import get_registry, get_trace, render_text
 
 PAGE = 512
 
@@ -128,6 +129,16 @@ def main() -> None:
     print("done; tree validates:",
           len(tree2.check(strict_tokens=False,
                           require_peer_chain=False)) >= len(committed))
+
+    print()
+    print("=" * 66)
+    print("observability registry after the demo "
+          "(see python -m repro.tools.stats)")
+    print("=" * 66)
+    print(render_text(get_registry().snapshot()))
+    counts = get_trace().counts()
+    print("trace events:", ", ".join(f"{k}: {v}"
+                                     for k, v in sorted(counts.items())))
 
 
 if __name__ == "__main__":

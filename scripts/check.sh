@@ -26,6 +26,19 @@ else
     echo "==> mypy not installed; skipping"
 fi
 
+echo "==> observability unit tests (tests/obs)"
+python -m pytest -x -q tests/obs
+
+echo "==> stats CLI smoke (python -m repro.tools.stats --json)"
+python -m repro.tools.stats --json --kinds shadow --keys 48 \
+    | python -c "
+import json, sys
+doc = json.load(sys.stdin)
+assert doc['metrics']['counters']['tree.splits[kind=shadow]'] > 0
+assert doc['trace']['counts'].get('repair', 0) > 0
+print('stats CLI emitted valid JSON with nonzero split/repair counters')
+"
+
 echo "==> tier-1 suite under the runtime sanitizer (REPRO_SANITIZE=1)"
 REPRO_SANITIZE=1 python -m pytest -x -q
 

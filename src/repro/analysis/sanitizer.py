@@ -122,7 +122,8 @@ class SanitizedBufferPool(BufferPool):
 
     def __init__(self, disk: SimulatedDisk, capacity: int | None = None):
         super().__init__(disk, capacity=capacity)
-        self._volatile: set[int] = set()
+        # volatile-frame bookkeeping lives in the base pool (it drives the
+        # eviction exemption there); this class only adds pin-site tracking
         self._pin_sites: dict[int, list[str]] = {}
 
     def pin(self, page_no: int) -> Buffer:
@@ -135,10 +136,6 @@ class SanitizedBufferPool(BufferPool):
         sites = self._pin_sites.get(buf.page_no)
         if sites:
             sites.pop()
-
-    def note_volatile(self, buf: Buffer) -> None:
-        if buf.page_no is not None:
-            self._volatile.add(buf.page_no)
 
     def dirty_batch(self) -> dict[int, bytes]:
         if _checks_active():
@@ -163,21 +160,13 @@ class SanitizedBufferPool(BufferPool):
                     f"it and lose the update (R003 at runtime)"
                 )
 
-    def mark_dirty(self, buf: Buffer) -> None:
-        super().mark_dirty(buf)
-        # once the frame is dirty its whole content reaches the next sync,
-        # so any standing volatile declaration is resolved by it
-        self._volatile.discard(buf.page_no)
-
     def remap(self, virtual: Buffer, old: Buffer) -> Buffer:
         buf = super().remap(virtual, old)
-        self._volatile.discard(buf.page_no)
         self._pin_sites.pop(buf.page_no, None)
         return buf
 
     def drop(self, page_no: int) -> None:
         super().drop(page_no)
-        self._volatile.discard(page_no)
         self._pin_sites.pop(page_no, None)
 
     def assert_quiescent(self) -> None:

@@ -38,6 +38,7 @@ class CampaignResult:
     lost_data: int = 0
     corrupt: int = 0
     repairs: Counter = field(default_factory=Counter)
+    repair_seconds: Counter = field(default_factory=Counter)
     restart_seconds: list[float] = field(default_factory=list)
     restart_reads: list[int] = field(default_factory=list)
 
@@ -102,6 +103,9 @@ def campaign(kind: str, *, runs: int = 50, n: int = 600, batch: int = 25,
             out.recovered += 1
             for report in tree2.repair_log:
                 out.repairs[report.kind.value] += 1
+            for rkind, summary in \
+                    tree2.repair_log.latency_summary().items():
+                out.repair_seconds[rkind] += summary["sum"]
         except ReproError:
             out.corrupt += 1
     return out
@@ -122,6 +126,12 @@ def print_report(results: list[CampaignResult]) -> None:
             pretty = ", ".join(f"{k}: {v}" for k, v in
                                sorted(r.repairs.items()))
             print(f"repairs performed by {r.kind}: {pretty}")
+        if r.repair_seconds:
+            pretty = ", ".join(
+                f"{k}: {1e6 * v / r.repairs[k]:.0f}us avg"
+                for k, v in sorted(r.repair_seconds.items())
+                if r.repairs.get(k))
+            print(f"repair latency for {r.kind}: {pretty}")
 
 
 def main(argv=None) -> None:

@@ -32,9 +32,11 @@ actually found on the child.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Iterator
 
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
+from ..obs import get_registry, get_trace
 from ..errors import (
     DuplicateKeyError,
     KeyNotFoundError,
@@ -93,13 +95,18 @@ class BLinkTree:
         self.codec = codec
         self.page_size = file.page_size
         self.repair_log = RepairLog()
+        self.repair_log.bind_owner(kind=self.KIND, file_name=file.name,
+                                   token_source=self._token)
         #: optional callable invoked when a reorg page must block for a
         #: sync before its backup can be reclaimed; defaults to asking the
         #: engine for a sync
         self.sync_hook = engine.sync
-        self.stats_splits = 0
-        self.stats_root_splits = 0
-        self.stats_moves_right = 0
+        reg = get_registry()
+        self._m_splits = reg.counter("tree.splits", kind=self.KIND)
+        self._m_root_splits = reg.counter("tree.root_splits", kind=self.KIND)
+        self._m_moves_right = reg.counter("tree.moves_right", kind=self.KIND)
+        self._h_split_seconds = reg.histogram("tree.split.seconds",
+                                              kind=self.KIND)
         # pages already vetted for intra-page damage since this restart
         self._vetted: set[int] = set()
         # leaves whose membership in the current peer-pointer path has been
@@ -111,6 +118,20 @@ class BLinkTree:
         # only be discovered at restart, and restarts build a new tree
         # object
         self._root_cache: int | None = None
+
+    # -- stats (compatibility views over the registry counters) -----------
+
+    @property
+    def stats_splits(self) -> int:
+        return self._m_splits.value
+
+    @property
+    def stats_root_splits(self) -> int:
+        return self._m_root_splits.value
+
+    @property
+    def stats_moves_right(self) -> int:
+        return self._m_moves_right.value
 
     # ------------------------------------------------------------------
     # construction
@@ -327,6 +348,7 @@ class BLinkTree:
         """The new root image was lost: copy the previous root's page over
         it ("the prevChild page is copied directly to the child page"), or
         start from an empty leaf if no root existed before the failure."""
+        started = perf_counter()
         prev = meta.prev_root
         if prev != INVALID_PAGE:
             pbuf = self.file.pin(prev)
@@ -349,7 +371,8 @@ class BLinkTree:
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             Kind.LOST_ROOT, rbuf.page_no, action,
-            detail=f"prev_root={prev}"))
+            detail=f"prev_root={prev}"),
+            duration=perf_counter() - started)
         self._after_root_repair(rbuf, rview)
 
     def _after_root_repair(self, rbuf: Buffer, rview: NodeView) -> None:
@@ -466,7 +489,16 @@ class BLinkTree:
                 leaf.view.insert_item(slot, item)
                 self._dirty(leaf.buffer)
             else:
+                started = perf_counter()
+                splits_before = self._m_splits.value
                 self._split_and_insert(path, len(path) - 1, item, key)
+                duration = perf_counter() - started
+                self._h_split_seconds.observe(duration)
+                get_trace().emit(
+                    "split", file=self.file.name, page=leaf.page_no,
+                    token=self._token(), duration=duration,
+                    technique=self.KIND,
+                    pages_split=self._m_splits.value - splits_before)
         finally:
             self._unpin_path(path)
 
@@ -576,6 +608,7 @@ class BLinkTree:
         neighbour through the root-to-leaf path and relink (3.5.1)."""
         if view.n_keys == 0:
             return None
+        started = perf_counter()
         probe = view.max_key() + b"\x00"
         path = self._descend(probe)
         try:
@@ -602,11 +635,11 @@ class BLinkTree:
                         self._unpin(tbuf)
         finally:
             self._unpin_path(path)
-        self._finish_heal(page_no, buf, view, target)
+        self._finish_heal(page_no, buf, view, target, started=started)
         return target if target != INVALID_PAGE else None
 
     def _finish_heal(self, page_no: int, buf: Buffer, view: NodeView,
-                     target: int) -> None:
+                     target: int, *, started: float | None = None) -> None:
         token = self._token()
         view.right_peer = target
         view.right_peer_token = token
@@ -623,7 +656,9 @@ class BLinkTree:
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             Kind.PEER_TOKEN_MISMATCH, page_no, Action.RELINKED_PEER,
-            detail=f"right -> {target}"))
+            detail=f"right -> {target}"),
+            duration=None if started is None
+            else perf_counter() - started)
 
     def _ensure_peer_path(self, leaf: PathEntry) -> None:
         """Section 3.5.1's first-insert check against Figure 3's worst
@@ -653,6 +688,7 @@ class BLinkTree:
         if state.in_current_incarnation(leaf.view.sync_token):
             self._peer_path_checked.add(page_no)
             return
+        started = perf_counter()
         episode_token = leaf.view.sync_token
         self._walk_and_verify(leaf.page_no, leaf.buffer, leaf.view,
                               episode_token, left=False)
@@ -661,7 +697,8 @@ class BLinkTree:
         self._peer_path_checked.add(page_no)
         self.repair_log.add(DetectionReport(
             Kind.PEER_PATH_CHECK, page_no, Action.VERIFIED_ONLY,
-            detail=f"token={episode_token}"))
+            detail=f"token={episode_token}"),
+            duration=perf_counter() - started)
 
     def _verify_episode_around(self, page_no: int) -> None:
         """Run the Section 3.5.1 walk around a page that a repair just
@@ -747,6 +784,7 @@ class BLinkTree:
         neighbour through the root-to-leaf path and relink."""
         if view.n_keys == 0:
             return None
+        started = perf_counter()
         probe = view.min_key()
         path = self._descend(probe)
         try:
@@ -782,7 +820,8 @@ class BLinkTree:
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             Kind.PEER_TOKEN_MISMATCH, page_no, Action.RELINKED_PEER,
-            detail=f"left -> {target}"))
+            detail=f"left -> {target}"),
+            duration=perf_counter() - started)
         return target if target != INVALID_PAGE else None
 
     def _restamp_neighbor(self, neighbor: int, *, right_side: bool,
@@ -813,11 +852,13 @@ class BLinkTree:
         self._vetted.add(page_no)
         if not self.engine.sync_state.predates_last_crash(view.sync_token):
             return
+        started = perf_counter()
         if view.find_intra_page_inconsistency() is not None:
             view.repair_intra_page()
             self._dirty(buf)
             self.repair_log.add(DetectionReport(
-                Kind.INTRA_PAGE, page_no, Action.DELETED_DUPLICATE))
+                Kind.INTRA_PAGE, page_no, Action.DELETED_DUPLICATE),
+                duration=perf_counter() - started)
 
     def items(self) -> list[tuple[object, TID]]:
         """Everything in the index, in key order."""

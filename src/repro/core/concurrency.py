@@ -36,8 +36,10 @@ from __future__ import annotations
 
 import threading
 from collections import defaultdict
+from time import perf_counter
 
 from ..errors import ReproError
+from ..obs import get_registry, get_trace
 
 
 class LatchProtocolError(ReproError):
@@ -63,18 +65,31 @@ class LatchManager:
         self._readers: dict[int, int] = defaultdict(int)
         self._writer: dict[int, int | None] = {}
         self._held: dict[int, list[tuple[int, str]]] = defaultdict(list)
-        self.stats_waits = 0
+        self._m_waits = get_registry().counter("latch.waits")
+
+    @property
+    def stats_waits(self) -> int:
+        return self._m_waits.value
 
     def _me(self) -> int:
         return threading.get_ident()
+
+    def _waited(self, page_no: int, mode: str, started: float) -> None:
+        get_trace().emit("latch_wait", page=page_no, mode=mode,
+                         duration=perf_counter() - started)
 
     def acquire_read(self, page_no: int, *, max_held: int = 1) -> None:
         me = self._me()
         with self._cond:
             self._assert_capacity(me, max_held)
+            contended_at = None
             while self._writer.get(page_no) not in (None, me):
-                self.stats_waits += 1
+                if contended_at is None:
+                    contended_at = perf_counter()
+                self._m_waits.inc()
                 self._cond.wait()
+            if contended_at is not None:
+                self._waited(page_no, "r", contended_at)
             self._readers[page_no] += 1
             self._held[me].append((page_no, "r"))
 
@@ -82,10 +97,15 @@ class LatchManager:
         me = self._me()
         with self._cond:
             self._assert_capacity(me, max_held)
+            contended_at = None
             while (self._writer.get(page_no) not in (None, me)
                    or self._reader_conflict(page_no, me)):
-                self.stats_waits += 1
+                if contended_at is None:
+                    contended_at = perf_counter()
+                self._m_waits.inc()
                 self._cond.wait()
+            if contended_at is not None:
+                self._waited(page_no, "w", contended_at)
             self._writer[page_no] = me
             self._held[me].append((page_no, "w"))
 
@@ -140,7 +160,13 @@ class SplitLock:
     def __init__(self):
         self._lock = threading.Lock()
         self._owner: int | None = None
-        self.stats_acquisitions = 0
+        reg = get_registry()
+        self._m_acquisitions = reg.counter("split_lock.acquisitions")
+        self._m_waits = reg.counter("split_lock.waits")
+
+    @property
+    def stats_acquisitions(self) -> int:
+        return self._m_acquisitions.value
 
     def acquire(self, latches: LatchManager | None = None) -> None:
         me = threading.get_ident()
@@ -152,9 +178,14 @@ class SplitLock:
                 "split lock must be acquired before the write latch; "
                 "release the write latch first (Section 3.6)"
             )
-        self._lock.acquire()
+        if not self._lock.acquire(blocking=False):
+            contended_at = perf_counter()
+            self._m_waits.inc()
+            self._lock.acquire()
+            get_trace().emit("latch_wait", mode="split",
+                             duration=perf_counter() - contended_at)
         self._owner = me
-        self.stats_acquisitions += 1
+        self._m_acquisitions.inc()
 
     def release(self) -> None:
         if self._owner != threading.get_ident():

@@ -10,6 +10,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Callable
+
+from ..obs import TIME_BUCKETS, get_registry, get_trace
+from ..obs.metrics import Counter, Histogram
 
 
 class Kind(enum.Enum):
@@ -77,12 +81,59 @@ class DetectionReport:
 
 @dataclass
 class RepairLog:
-    """Append-only log of repairs performed by one tree instance."""
+    """Append-only log of repairs performed by one tree instance.
+
+    When a tree attaches itself via :meth:`bind_owner`, every
+    :meth:`add` also feeds the observability layer: a per-technique
+    ``tree.repairs`` counter, a ``tree.repair.seconds`` latency histogram
+    (when the caller timed the repair), and a ``repair`` trace event
+    carrying the page and the sync token in force at repair time.
+    """
 
     reports: list[DetectionReport] = field(default_factory=list)
+    kind_label: str | None = None
+    file_name: str | None = None
+    token_source: Callable[[], int] | None = None
+    _counters: dict[Kind, Counter] = field(default_factory=dict, repr=False)
+    _histograms: dict[Kind, Histogram] = field(default_factory=dict,
+                                               repr=False)
 
-    def add(self, report: DetectionReport) -> None:
+    def bind_owner(self, *, kind: str, file_name: str,
+                   token_source: Callable[[], int] | None = None) -> None:
+        """Attribute this log's repairs to one tree (technique + file)."""
+        self.kind_label = kind
+        self.file_name = file_name
+        self.token_source = token_source
+
+    def add(self, report: DetectionReport,
+            duration: float | None = None) -> None:
         self.reports.append(report)
+        if self.kind_label is None:
+            return
+        reg = get_registry()
+        counter = self._counters.get(report.kind)
+        if counter is None:
+            counter = self._counters[report.kind] = reg.counter(
+                "tree.repairs", kind=self.kind_label,
+                repair=report.kind.value)
+        counter.inc()
+        if duration is not None:
+            hist = self._histograms.get(report.kind)
+            if hist is None:
+                hist = self._histograms[report.kind] = reg.histogram(
+                    "tree.repair.seconds", bounds=TIME_BUCKETS,
+                    kind=self.kind_label, repair=report.kind.value)
+            hist.observe(duration)
+        token = self.token_source() if self.token_source else None
+        get_trace().emit(
+            "repair", file=self.file_name, page=report.page_no, token=token,
+            duration=duration, kind=report.kind.value,
+            action=report.action.value, technique=self.kind_label)
+
+    def latency_summary(self) -> dict[str, dict]:
+        """Per-repair-kind latency summaries recorded by this log."""
+        return {kind.value: hist.summary()
+                for kind, hist in self._histograms.items()}
 
     def __len__(self) -> int:
         return len(self.reports)

@@ -49,7 +49,7 @@ class NormalBLinkTree(BLinkTree):
         left_blobs, right_blobs = blobs[:h], blobs[h:]
         sep = I.item_key(right_blobs[0], 0)
         token = self._token()
-        self.stats_splits += 1
+        self._m_splits.inc()
 
         old_right = view.right_peer
         page_type = PAGE_LEAF if view.is_leaf else PAGE_INTERNAL
@@ -106,7 +106,7 @@ class NormalBLinkTree(BLinkTree):
                    sep_item: bytes) -> None:
         """Classic root growth: the old root stays put as the left child
         and a brand-new root points at both halves."""
-        self.stats_root_splits += 1
+        self._m_root_splits.inc()
         new_level = old_root.view.level + 1
         root_no, rbuf, rview = self._alloc(PAGE_INTERNAL, new_level)
         try:

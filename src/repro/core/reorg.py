@@ -28,8 +28,11 @@ restore; the record is the minimal mechanism that makes it exact.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
 from ..errors import RecoveryError, TreeError
+from ..obs import get_registry
 from ..storage import is_zeroed, token_older, try_read_header, valid_magic
 from ..storage.buffer_pool import Buffer
 from ..storage.page import LINE_ENTRY_SIZE
@@ -49,12 +52,22 @@ class ReorgBLinkTree(BLinkTree):
 
     def __init__(self, engine, file, codec):
         super().__init__(engine, file, codec)
-        #: times an update had to block for a sync because the page's
-        #: backup was still needed (reclamation case 1) — the cost the
-        #: paper says makes this technique "best suited to environments
-        #: with low insertion rates"
-        self.stats_sync_stalls = 0
-        self.stats_reclaims = 0
+        reg = get_registry()
+        self._m_sync_stalls = reg.counter("tree.sync_stalls", kind=self.KIND)
+        self._m_reclaims = reg.counter("tree.backup_reclaims",
+                                       kind=self.KIND)
+
+    @property
+    def stats_sync_stalls(self) -> int:
+        """Times an update had to block for a sync because the page's
+        backup was still needed (reclamation case 1) — the cost the paper
+        says makes this technique "best suited to environments with low
+        insertion rates"."""
+        return self._m_sync_stalls.value
+
+    @property
+    def stats_reclaims(self) -> int:
+        return self._m_reclaims.value
 
     # ------------------------------------------------------------------
     # space policy
@@ -93,7 +106,7 @@ class ReorgBLinkTree(BLinkTree):
         token = view.sync_token
         if state.is_current(token):
             # case 1: "The DBMS must block for a sync operation"
-            self.stats_sync_stalls += 1
+            self._m_sync_stalls.inc()
             self.sync_hook()
             view.reclaim_backup()
         elif state.in_current_incarnation(token):
@@ -104,7 +117,7 @@ class ReorgBLinkTree(BLinkTree):
             self._resolve_stale_backup(page_no, buf, view, bounds)
             if view.prev_n_keys:
                 view.reclaim_backup()
-        self.stats_reclaims += 1
+        self._m_reclaims.inc()
         self._dirty(buf)
 
     def _resolve_stale_backup(self, page_no: int, buf: Buffer,
@@ -118,6 +131,7 @@ class ReorgBLinkTree(BLinkTree):
         sibling may need regenerating (case c is handled when the sibling
         itself is visited; here we just verify it before reclaiming).
         """
+        started = perf_counter()
         live_low = view.live_is_low
         backup_blobs = view.backup_items()
         if not backup_blobs:
@@ -156,7 +170,8 @@ class ReorgBLinkTree(BLinkTree):
             self.engine.sync_state.note_split()
             self.repair_log.add(DetectionReport(
                 Kind.RESTORED_ORIGINAL, page_no, Action.RESTORED_BACKUP,
-                detail=f"abandoned sibling {abandoned}"))
+                detail=f"abandoned sibling {abandoned}"),
+                duration=perf_counter() - started)
             self._verify_episode_around(page_no)
             return
 
@@ -184,6 +199,7 @@ class ReorgBLinkTree(BLinkTree):
                             sibling: int, sbuf: Buffer,
                             sview: NodeView) -> None:
         """Case (c): rebuild the lost sibling from the backup keys."""
+        started = perf_counter()
         blobs = view.backup_items()
         token = self._token()
         page_type = PAGE_LEAF if view.is_leaf else PAGE_INTERNAL
@@ -206,7 +222,8 @@ class ReorgBLinkTree(BLinkTree):
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             Kind.LOST_SIBLING, sibling, Action.REBUILT_FROM_BACKUP,
-            parent_page=None, detail=f"backup on page {page_no}"))
+            parent_page=None, detail=f"backup on page {page_no}"),
+            duration=perf_counter() - started)
         self._verify_episode_around(sibling)
 
     def _after_root_repair(self, rbuf: Buffer, rview: NodeView) -> None:
@@ -244,7 +261,7 @@ class ReorgBLinkTree(BLinkTree):
                 self._unpin(tbuf)
                 break
             self._unpin(buf)
-            self.stats_moves_right += 1
+            self._m_moves_right.inc()
             page_no, buf, view = target, tbuf, tview
             bounds = KeyBounds(view.min_key(), bounds.hi)
             if (view.prev_n_keys
@@ -400,6 +417,7 @@ class ReorgBLinkTree(BLinkTree):
                                source_no: int, sview: NodeView | None) -> None:
         """Rebuild a lost child whose keys were all uncommitted: an empty
         leaf, or a minimal internal spine over an empty leaf."""
+        started = perf_counter()
         token = self._token()
         if level == 0:
             child_view.init_page(PAGE_LEAF, level=0, sync_token=token,
@@ -432,7 +450,8 @@ class ReorgBLinkTree(BLinkTree):
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             Kind.ZEROED_CHILD, child_no, Action.VERIFIED_ONLY,
-            detail="rebuilt empty (all keys were uncommitted)"))
+            detail="rebuilt empty (all keys were uncommitted)"),
+            duration=perf_counter() - started)
 
     def _find_adjacent_source(self, parent: PathEntry,
                               bounds: KeyBounds) -> int | None:
@@ -463,6 +482,7 @@ class ReorgBLinkTree(BLinkTree):
         the backup area, and point ``newPage`` at *sibling* — the page the
         parent already names for the other half.  If the sibling's image
         was also lost, it is regenerated from the fresh backup."""
+        started = perf_counter()
         child_no = child_buf.page_no
         blobs = child_view.items()
         n = len(blobs)
@@ -511,7 +531,8 @@ class ReorgBLinkTree(BLinkTree):
         self.repair_log.add(DetectionReport(
             Kind.WIDE_CHILD, child_no, Action.REDID_SPLIT,
             parent_page=parent_page, slot=slot,
-            detail=f"sibling={sibling} live_is_low={live_is_low}"))
+            detail=f"sibling={sibling} live_is_low={live_is_low}"),
+            duration=perf_counter() - started)
         if sibling != INVALID_PAGE:
             sbuf = self.file.pin(sibling)
             try:
@@ -562,7 +583,7 @@ class ReorgBLinkTree(BLinkTree):
         live_blobs, backup_blobs = (low, high) if new_in_high else (high, low)
         pb_blobs = high if new_in_high else low
         token = self._token()
-        self.stats_splits += 1
+        self._m_splits.inc()
         page_type = PAGE_LEAF if view.is_leaf else PAGE_INTERNAL
         p_no = entry.page_no
         p_bounds = entry.bounds
@@ -675,7 +696,7 @@ class ReorgBLinkTree(BLinkTree):
         number (the remap), so the meta page's previous-root pointer can
         name it — a lost new root falls back to a page that still reaches
         every key (live half directly, the other half via newPage)."""
-        self.stats_root_splits += 1
+        self._m_root_splits.inc()
         p_no = old_root.page_no
         new_level = old_root.view.level + 1
         root_no, rbuf, rview = self._alloc(PAGE_INTERNAL, new_level)

@@ -22,6 +22,8 @@ is repaired by re-copying the expected range out of the prevPtr page
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
 from ..errors import RecoveryError, TreeError
 from ..storage import is_zeroed, try_read_header, valid_magic
@@ -91,6 +93,7 @@ class ShadowBLinkTree(BLinkTree):
                           bounds: KeyBounds, level: int) -> None:
         """Re-execute the interrupted split (Section 3.3.2): rebuild the
         child from the keys the prevPtr page holds in the expected range."""
+        started = perf_counter()
         slot = parent.slot if parent.slot >= 0 else parent.view.route(bounds.lo)
         prev_no = parent.view.prev_at(slot)
         kind = (Kind.ZEROED_CHILD if is_zeroed(child_buf.data)
@@ -128,7 +131,8 @@ class ShadowBLinkTree(BLinkTree):
         self.repair_log.add(DetectionReport(
             kind, child_no, Action.REBUILT_FROM_PREV,
             parent_page=parent.page_no, slot=slot,
-            detail=f"prev={prev_no}"))
+            detail=f"prev={prev_no}"),
+            duration=perf_counter() - started)
         self._verify_episode_around(child_no)
 
     def _relink_repaired(self, parent: PathEntry, slot: int,
@@ -182,7 +186,7 @@ class ShadowBLinkTree(BLinkTree):
                 self._unpin(tbuf)
                 break
             self._unpin(buf)
-            self.stats_moves_right += 1
+            self._m_moves_right.inc()
             page_no, buf, view = target, tbuf, tview
             if view.n_keys:
                 bounds = KeyBounds(max(bounds.lo, view.min_key()), bounds.hi)
@@ -199,7 +203,7 @@ class ShadowBLinkTree(BLinkTree):
                 self._unpin(tbuf)
                 break
             self._unpin(buf)
-            self.stats_moves_right += 1
+            self._m_moves_right.inc()
             page_no, buf, view = target, tbuf, tview
             bounds = KeyBounds(view.min_key(), bounds.hi)
         return page_no, buf, view, bounds
@@ -235,7 +239,7 @@ class ShadowBLinkTree(BLinkTree):
         left_blobs, right_blobs = blobs[:h], blobs[h:]
         sep = I.item_key(right_blobs[0], 0)
         token = self._token()
-        self.stats_splits += 1
+        self._m_splits.inc()
         page_type = PAGE_LEAF if view.is_leaf else PAGE_INTERNAL
         p_no = entry.page_no
         p_bounds = entry.bounds
@@ -320,7 +324,7 @@ class ShadowBLinkTree(BLinkTree):
                     sep: bytes, bounds: KeyBounds, p_durable: bool) -> None:
         """Root split: a new root holds two shadow triples and the meta
         page's root pointer moves (it has its own prev/current pair)."""
-        self.stats_root_splits += 1
+        self._m_root_splits.inc()
         new_level = old_root.view.level + 1
         p_no = old_root.page_no
         if p_durable:

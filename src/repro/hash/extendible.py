@@ -42,8 +42,10 @@ from __future__ import annotations
 
 import struct
 import zlib
+from time import perf_counter
 
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
+from ..obs import get_registry
 from ..errors import (
     DuplicateKeyError,
     KeyNotFoundError,
@@ -82,9 +84,21 @@ class ExtendibleHashIndex:
         self.codec = codec
         self.page_size = file.page_size
         self.repair_log = RepairLog()
-        self.stats_bucket_splits = 0
-        self.stats_directory_doublings = 0
+        self.repair_log.bind_owner(kind=self.KIND, file_name=file.name,
+                                   token_source=self._token)
+        reg = get_registry()
+        self._m_bucket_splits = reg.counter("tree.splits", kind=self.KIND)
+        self._m_dir_doublings = reg.counter("hash.directory_doublings",
+                                            kind=self.KIND)
         self._entries_per_page = (self.page_size - 64) // DIR_ENTRY_SIZE
+
+    @property
+    def stats_bucket_splits(self) -> int:
+        return self._m_bucket_splits.value
+
+    @property
+    def stats_directory_doublings(self) -> int:
+        return self._m_dir_doublings.value
 
     # ------------------------------------------------------------------
     # construction
@@ -252,6 +266,7 @@ class ExtendibleHashIndex:
                 self.file.unpin(buf)
         if ok and len(chain) >= needed:
             return
+        started = perf_counter()
         if prev_root == INVALID_PAGE:
             # only the create-time directory has no previous chain; if it
             # is lost, no sync ever committed — every key was uncommitted
@@ -273,7 +288,8 @@ class ExtendibleHashIndex:
             self.engine.sync_state.note_split()
             self.repair_log.add(DetectionReport(
                 Kind.LOST_ROOT, root, Action.VERIFIED_ONLY,
-                detail="rebuilt empty depth-0 directory"))
+                detail="rebuilt empty depth-0 directory"),
+                duration=perf_counter() - started)
             return
         # read the previous chain (depth-1) and re-execute the doubling
         # into the slots of the lost chain
@@ -340,7 +356,8 @@ class ExtendibleHashIndex:
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             Kind.LOST_ROOT, root, Action.COPIED_PREV_ROOT,
-            detail=f"directory rebuilt from chain {prev_root}"))
+            detail=f"directory rebuilt from chain {prev_root}"),
+            duration=perf_counter() - started)
 
     def _dir_read(self, slot: int) -> tuple[int, int]:
         page_no, index = self._dir_locate(slot)
@@ -559,7 +576,7 @@ class ExtendibleHashIndex:
             self.file.free_after_sync(bucket, old_range)
         else:
             self.file.free(bucket, old_range)
-        self.stats_bucket_splits += 1
+        self._m_bucket_splits.inc()
         self.engine.sync_state.note_split()
 
     def _double_directory(self) -> None:
@@ -611,7 +628,7 @@ class ExtendibleHashIndex:
             else:
                 self.file.free(page_no)
             page_no = nxt
-        self.stats_directory_doublings += 1
+        self._m_dir_doublings.inc()
         self.engine.sync_state.note_split()
 
     # ------------------------------------------------------------------

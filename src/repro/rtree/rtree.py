@@ -33,8 +33,10 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from time import perf_counter
 
 from ..constants import INVALID_PAGE, PAGE_INTERNAL, PAGE_LEAF
+from ..obs import get_registry, get_trace
 from ..errors import KeyNotFoundError, RecoveryError, TreeError
 from ..storage import copy_page, token_older, valid_magic
 from ..storage import page as P
@@ -200,7 +202,14 @@ class RTreeIndex:
         self.file = file
         self.page_size = file.page_size
         self.repair_log = RepairLog()
-        self.stats_splits = 0
+        self.repair_log.bind_owner(kind=self.KIND, file_name=file.name,
+                                   token_source=self._token)
+        self._m_splits = get_registry().counter("tree.splits",
+                                                kind=self.KIND)
+
+    @property
+    def stats_splits(self) -> int:
+        return self._m_splits.value
 
     # ------------------------------------------------------------------
     # construction
@@ -272,6 +281,7 @@ class RTreeIndex:
                       and node.page_type in (PAGE_LEAF, PAGE_INTERNAL)
                       and not token_older(node.sync_token, token))
             if not intact:
+                started = perf_counter()
                 if prev != INVALID_PAGE:
                     pbuf = self.file.pin(prev)
                     try:
@@ -286,7 +296,8 @@ class RTreeIndex:
                 self.file.mark_dirty(rbuf)
                 self.engine.sync_state.note_split()
                 self.repair_log.add(DetectionReport(
-                    Kind.LOST_ROOT, root, action, detail=f"prev={prev}"))
+                    Kind.LOST_ROOT, root, action, detail=f"prev={prev}"),
+                    duration=perf_counter() - started)
         finally:
             self.file.unpin(rbuf)
         self._root_cache = root
@@ -318,11 +329,13 @@ class RTreeIndex:
                 # never recycled before GC, so a valid page of the right
                 # level at this slot IS the child: heal the parent instead
                 # of clobbering the child.
+                started = perf_counter()
                 self._widen_parent(parent_page, slot, actual)
                 self.repair_log.add(DetectionReport(
                     Kind.RANGE_MISMATCH, child_no, Action.VERIFIED_ONLY,
                     parent_page=parent_page, slot=slot,
-                    detail="parent MBR widened to re-cover the child"))
+                    detail="parent MBR widened to re-cover the child"),
+                    duration=perf_counter() - started)
         return child
 
     def _widen_parent(self, parent_page: int, slot: int,
@@ -340,6 +353,7 @@ class RTreeIndex:
     def _repair_child(self, parent: _RNode, slot: int, child_no: int,
                       child: _RNode, prev: int, promised: Rect,
                       level: int) -> None:
+        started = perf_counter()
         kind = (Kind.ZEROED_CHILD if not valid_magic(child.buf)
                 else Kind.RANGE_MISMATCH)
         if prev == INVALID_PAGE:
@@ -376,7 +390,8 @@ class RTreeIndex:
         self.engine.sync_state.note_split()
         self.repair_log.add(DetectionReport(
             kind, child_no, Action.REBUILT_FROM_PREV,
-            detail=f"prev={prev} (MBR repair)"))
+            detail=f"prev={prev} (MBR repair)"),
+            duration=perf_counter() - started)
 
     # ------------------------------------------------------------------
     # search
@@ -449,8 +464,16 @@ class RTreeIndex:
                             rect.ymax, tid.page_no, tid.line)
                 self.file.mark_dirty(buf)
             else:
+                started = perf_counter()
+                splits_before = self._m_splits.value
                 self._split_and_insert(path, page_no, buf, node, rect,
                                        tid=tid)
+                duration = perf_counter() - started
+                get_trace().emit(
+                    "split", file=self.file.name, page=page_no,
+                    token=self._token(), duration=duration,
+                    technique=self.KIND,
+                    pages_split=self._m_splits.value - splits_before)
         finally:
             self.file.unpin(buf)
             for _p, anc_buf, _n, _s in path:
@@ -512,7 +535,7 @@ class RTreeIndex:
         pb_no = self._fill_node(page_type, level, group_b)
         mbr_a = _group_mbr(group_a)
         mbr_b = _group_mbr(group_b)
-        self.stats_splits += 1
+        self._m_splits.inc()
         self.engine.sync_state.note_split()
 
         if not path:

@@ -23,6 +23,7 @@ from collections import OrderedDict
 from typing import Iterator
 
 from ..errors import BufferError_
+from ..obs import get_registry, get_trace
 from .disk import SimulatedDisk
 
 
@@ -64,9 +65,39 @@ class BufferPool:
         self._disk = disk
         self._capacity = capacity
         self._frames: OrderedDict[int, Buffer] = OrderedDict()
-        self.stats_hits = 0
-        self.stats_misses = 0
-        self.stats_overflows = 0
+        #: pages declared deliberately buffer-only via :meth:`note_volatile`
+        self._volatile: set[int] = set()
+        reg = get_registry()
+        self._m_hits = reg.counter("buffer_pool.hits", file=disk.name)
+        self._m_misses = reg.counter("buffer_pool.misses", file=disk.name)
+        self._m_evictions = reg.counter("buffer_pool.evictions",
+                                        file=disk.name)
+        self._m_overflows = reg.counter("buffer_pool.overflows",
+                                        file=disk.name)
+        self._m_volatile_exempt = reg.counter(
+            "buffer_pool.volatile_exemptions", file=disk.name)
+
+    # -- stats (compatibility views over the registry counters) -----------
+
+    @property
+    def stats_hits(self) -> int:
+        return self._m_hits.value
+
+    @property
+    def stats_misses(self) -> int:
+        return self._m_misses.value
+
+    @property
+    def stats_evictions(self) -> int:
+        return self._m_evictions.value
+
+    @property
+    def stats_overflows(self) -> int:
+        return self._m_overflows.value
+
+    @property
+    def stats_volatile_exemptions(self) -> int:
+        return self._m_volatile_exempt.value
 
     # -- pinning -------------------------------------------------------------
 
@@ -74,11 +105,11 @@ class BufferPool:
         """Pin the buffer for *page_no*, faulting it in if needed."""
         buf = self._frames.get(page_no)
         if buf is not None:
-            self.stats_hits += 1
+            self._m_hits.inc()
             self._frames.move_to_end(page_no)
             buf.pin_count += 1
         else:
-            self.stats_misses += 1
+            self._m_misses.inc()
             data = bytearray(self._disk.read_page(page_no))
             buf = Buffer(page_no, data)
             self._frames[page_no] = buf
@@ -110,6 +141,9 @@ class BufferPool:
         if buf.pin_count <= 0:
             raise BufferError_("mark_dirty requires a pinned buffer")
         buf.dirty = True
+        # once dirty the frame's whole content reaches the next sync, so
+        # any standing volatile declaration is resolved by it
+        self._volatile.discard(buf.page_no)
 
     def note_volatile(self, buf: Buffer) -> None:
         """Declare that *buf* was mutated **deliberately without** marking
@@ -117,12 +151,23 @@ class BufferPool:
         page is dirtied for some other reason.
 
         The one legitimate user is the shadow split (Section 3.3.2): the
-        parent's ``new_page`` advertisement must live in the buffer only,
-        because the durable parent image has to keep routing to the
-        pre-split child until the whole split is synced.  The base pool
-        ignores the note; the sanitizing pool uses it to exempt the frame
-        from its mutated-but-clean check until the next sync.
+        pre-split page's ``new_page`` advertisement must live in the buffer
+        only, because the durable image has to keep the pre-split content
+        until the whole split is synced.  The advertisement exists solely
+        for in-flight readers that captured the page number before the
+        split, so the frame must not be evicted under capacity pressure —
+        re-faulting would read the durable image and lose it.  The note
+        stands until the frame is dirtied, remapped, dropped, or a sync
+        retires it (see :meth:`clear_dirty`); the sanitizing pool
+        additionally uses it to exempt the frame from its
+        mutated-but-clean check.
         """
+        if buf.page_no is not None:
+            self._volatile.add(buf.page_no)
+
+    def is_volatile(self, page_no: int) -> bool:
+        """True while a :meth:`note_volatile` declaration stands."""
+        return page_no in self._volatile
 
     def dirty_batch(self) -> dict[int, bytes]:
         """Snapshot of every dirty frame, as the batch for a sync."""
@@ -133,13 +178,36 @@ class BufferPool:
         }
 
     def clear_dirty(self, page_nos: Iterator[int] | None = None) -> None:
-        """Mark frames clean after a successful sync."""
+        """Mark frames clean after a successful sync, and retire volatile
+        notes whose purpose that sync served."""
         if page_nos is None:
             targets = list(self._frames.values())
         else:
             targets = [self._frames[p] for p in page_nos if p in self._frames]
         for buf in targets:
             buf.dirty = False
+        if self._volatile:
+            self._retire_volatile()
+
+    def _retire_volatile(self) -> None:
+        """End-of-sync resolution of standing volatile declarations.
+
+        A clean, unpinned volatile frame has served its purpose: the sync
+        that just completed made the split durable, so descents now route
+        around the advertisement and the page is (or is about to be) on
+        the freelist.  The frame is dropped so a later re-fault sees the
+        authoritative durable image.  A *pinned* volatile frame belongs to
+        an operation still in flight (a hybrid split can stall on a sync
+        mid-update, Section 3.4 case 1) — its note must keep standing or
+        the advertisement would become evictable before the split
+        finishes.
+        """
+        for page_no in list(self._volatile):
+            buf = self._frames.get(page_no)
+            if buf is None:
+                self._volatile.discard(page_no)
+            elif buf.pin_count == 0 and not buf.dirty:
+                self.drop(page_no)
 
     # -- virtual buffers and remapping ------------------------------------------
 
@@ -172,6 +240,7 @@ class BufferPool:
         old.pin_count = 0
         old.page_no = None
         del self._frames[page_no]
+        self._volatile.discard(page_no)
         virtual.page_no = page_no
         self._frames[page_no] = virtual
         self._frames.move_to_end(page_no)
@@ -188,6 +257,7 @@ class BufferPool:
         if buf.pin_count:
             raise BufferError_(f"drop of pinned buffer {buf!r}")
         del self._frames[page_no]
+        self._volatile.discard(page_no)
 
     def cached_pages(self) -> list[int]:
         return list(self._frames)
@@ -198,7 +268,16 @@ class BufferPool:
         for page_no, buf in list(self._frames.items()):
             if len(self._frames) <= self._capacity:
                 return
-            if buf.pin_count == 0 and not buf.dirty:
-                del self._frames[page_no]
+            if buf.pin_count or buf.dirty:
+                continue
+            if page_no in self._volatile:
+                # the frame carries a deliberate buffer-only divergence
+                # (shadow split advertisement); evicting it would silently
+                # discard the only copy — exempt until a sync retires it
+                self._m_volatile_exempt.inc()
+                continue
+            del self._frames[page_no]
+            self._m_evictions.inc()
+            get_trace().emit("evict", file=self._disk.name, page=page_no)
         if len(self._frames) > self._capacity:
-            self.stats_overflows += 1
+            self._m_overflows.inc()

@@ -21,10 +21,12 @@ maximum).  No log is processed; indexes repair themselves on first use.
 from __future__ import annotations
 
 import random
+from time import perf_counter
 from typing import Callable
 
 from ..constants import DEFAULT_PAGE_SIZE, SYNC_COUNTER_BATCH
 from ..errors import CrashError, ReproError
+from ..obs import COUNT_BUCKETS, get_registry, get_trace
 from .crash import NO_CRASH, CrashPolicy
 from .disk import SimulatedDisk
 from .pagefile import PageFile
@@ -65,7 +67,19 @@ class StorageEngine:
         #: callbacks invoked after every successful sync (trees hook these
         #: to observe sync completion; tests hook them to count syncs)
         self.post_sync_hooks: list[Callable[[], None]] = []
-        self.stats_syncs = 0
+
+        reg = get_registry()
+        self._m_syncs_completed = reg.counter("engine.syncs.completed")
+        self._m_syncs_crashed = reg.counter("engine.syncs.crashed")
+        self._m_pages_written = reg.counter("engine.sync.pages_written")
+        self._m_counter_advances = reg.counter("engine.sync.counter_advances")
+        self._h_sync_seconds = reg.histogram("engine.sync.seconds")
+        self._h_batch_pages = reg.histogram("engine.sync.batch_pages",
+                                            bounds=COUNT_BUCKETS)
+
+        #: set when SyncState's persist callback fires before __init__ has
+        #: assigned ``sync_state`` — the first _write_control flushes it
+        self._control_flush_pending = False
 
         self._disks: dict[str, SimulatedDisk] = disks if disks is not None else {}
         self._files: dict[str, PageFile] = {}
@@ -80,6 +94,22 @@ class StorageEngine:
             self._write_control(clean=False)
         else:
             self.sync_state = self._recover_sync_state(control_disk)
+        if self._control_flush_pending:  # pragma: no cover - both branches
+            # above already issue a _write_control; this is the safety net
+            # should a refactor ever reorder them
+            self._write_control(clean=False)
+
+    # -- stats (compatibility views over the registry counters) -----------
+
+    @property
+    def stats_syncs(self) -> int:
+        """Syncs that ran to completion (crashed syncs count separately
+        under :attr:`stats_crashed_syncs`)."""
+        return self._m_syncs_completed.value
+
+    @property
+    def stats_crashed_syncs(self) -> int:
+        return self._m_syncs_crashed.value
 
     # -- construction ------------------------------------------------------
 
@@ -144,13 +174,13 @@ class StorageEngine:
         self._check_alive()
         if policy is None:
             policy = self.crash_policy
+        started = perf_counter()
         batches = {
             name: file.pool.dirty_batch() for name, file in self._files.items()
         }
         order = [(name, page_no)
                  for name, batch in batches.items() for page_no in batch]
         self._rng.shuffle(order)
-        self.stats_syncs += 1
 
         survivors = policy.select(order)
         if survivors is None:
@@ -159,7 +189,19 @@ class StorageEngine:
             for name, file in self._files.items():
                 file.pool.clear_dirty(iter(batches[name]))
                 file.freelist.drain_after_sync()
+            counter_before = self.sync_state.counter
             self.sync_state.on_sync_complete()
+            advanced = self.sync_state.synced_since_init(counter_before)
+            self._m_syncs_completed.inc()
+            self._m_pages_written.inc(len(order))
+            if advanced:
+                self._m_counter_advances.inc()
+            duration = perf_counter() - started
+            self._h_sync_seconds.observe(duration)
+            self._h_batch_pages.observe(len(order))
+            get_trace().emit("sync", token=self.sync_state.counter,
+                             duration=duration, pages=len(order),
+                             advanced=advanced)
             for hook in self.post_sync_hooks:
                 hook()
             return
@@ -173,6 +215,10 @@ class StorageEngine:
                 written.append(pid)
         self.dead = True
         dropped = [pid for pid in order if pid not in survivor_set]
+        self._m_syncs_crashed.inc()
+        get_trace().emit("crash", token=self.sync_state.counter,
+                         duration=perf_counter() - started,
+                         written=len(written), dropped=len(dropped))
         raise CrashError(
             f"crash during engine sync: {len(written)}/{len(order)} pages "
             "persisted", written=written, dropped=dropped,
@@ -209,15 +255,19 @@ class StorageEngine:
         return state
 
     def _persist_max_counter(self, new_max: int) -> None:
-        # during __init__ sync_state may not be assigned yet
-        state = getattr(self, "sync_state", None)
-        if state is None:
-            self._pending_max = new_max
+        # SyncState's constructor calls back here (via _ensure_headroom)
+        # before __init__ has assigned sync_state; the new maximum already
+        # lives in the SyncState being built, so nothing is copied aside —
+        # we only note that a control write is owed, and both __init__
+        # branches issue one unconditionally right after assignment
+        if getattr(self, "sync_state", None) is None:
+            self._control_flush_pending = True
             return
         self._write_control(clean=False)
 
     def _write_control(self, *, clean: bool) -> None:
         state = self.sync_state
+        self._control_flush_pending = False
         buf = bytearray(self.page_size)
         _CONTROL_STRUCT.pack_into(
             buf, 0, _CONTROL_MAGIC, state.max_counter, state.counter,

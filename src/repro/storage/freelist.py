@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from ..errors import FreelistError
+from ..obs import get_registry
 
 #: A key range is [lo, hi) over raw key bytes; ``None`` hi means +infinity.
 KeyRange = tuple[bytes, bytes | None]
@@ -73,8 +74,17 @@ class Freelist:
         self._pin_count = pin_count or (lambda page_no: 0)
         self._free: list[FreeEntry] = []
         self._deferred: list[FreeEntry] = []
-        self.stats_extended = 0
-        self.stats_recycled = 0
+        reg = get_registry()
+        self._m_extended = reg.counter("freelist.extended")
+        self._m_recycled = reg.counter("freelist.recycled")
+
+    @property
+    def stats_extended(self) -> int:
+        return self._m_extended.value
+
+    @property
+    def stats_recycled(self) -> int:
+        return self._m_recycled.value
 
     # -- allocation ------------------------------------------------------
 
@@ -87,9 +97,9 @@ class Freelist:
             if self._pin_count(entry.page_no) > 0:
                 continue
             del self._free[i]
-            self.stats_recycled += 1
+            self._m_recycled.inc()
             return entry.page_no
-        self.stats_extended += 1
+        self._m_extended.inc()
         return self._extend()
 
     # -- freeing ------------------------------------------------------------

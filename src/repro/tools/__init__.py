@@ -1,5 +1,7 @@
-"""Operational tools: the offline index verifier."""
+"""Operational tools: the offline index verifier and the stats dumper."""
 
 from .fsck import FsckReport, fsck_tree
+from .stats import collect, render_report, run_demo_workload
 
-__all__ = ["FsckReport", "fsck_tree"]
+__all__ = ["FsckReport", "fsck_tree", "collect", "render_report",
+           "run_demo_workload"]

@@ -26,6 +26,7 @@ from ..core.keys import FULL_BOUNDS, MIN_KEY, KeyBounds
 from ..core.meta import MetaView
 from ..core.nodeview import NodeView
 from ..errors import ReproError
+from ..obs import get_registry, get_trace
 from ..storage import tokens_match, valid_magic
 
 
@@ -48,6 +49,7 @@ class FsckReport:
     keys: int = 0
     orphans: list = field(default_factory=list)
     findings: list = field(default_factory=list)
+    _counters: dict = field(default_factory=dict, repr=False)
 
     @property
     def errors(self) -> int:
@@ -59,6 +61,13 @@ class FsckReport:
 
     def add(self, severity: str, page_no: int, message: str) -> None:
         self.findings.append(Finding(severity, page_no, message))
+        counter = self._counters.get(severity)
+        if counter is None:
+            counter = self._counters[severity] = get_registry().counter(
+                "fsck.findings", severity=severity)
+        counter.inc()
+        get_trace().emit("fsck_finding", page=page_no, severity=severity,
+                         message=message)
 
     def render(self) -> str:
         lines = [

@@ -1,0 +1,229 @@
+"""Dump the observability registry: ``python -m repro.tools.stats``.
+
+By default the tool runs a tiny built-in crash/recovery workload (a
+miniature of ``examples/crash_recovery_demo.py``) against each requested
+tree kind and then prints everything the instrumentation recorded:
+counters, gauges, latency histograms, and the recovery-event trace.  It
+is the quickest way to *see* the paper's machinery — splits advertising
+pages, a crash dropping them, first-use repairs healing the damage — as
+numbers rather than prose.
+
+Usage::
+
+    python -m repro.tools.stats                 # text dump
+    python -m repro.tools.stats --json          # machine-readable
+    python -m repro.tools.stats --watch         # per-phase diffs
+    python -m repro.tools.stats --kinds shadow,reorg --keys 256
+
+The ``--watch`` flag reports a snapshot *diff* after every workload
+phase (build / crash / recover, per kind) instead of one final dump —
+the same information a live dashboard would poll for.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..core import TREE_CLASSES
+from ..core.keys import TID
+from ..core.nodeview import NodeView
+from ..errors import CrashError
+from ..obs import (
+    diff_snapshots,
+    get_registry,
+    get_trace,
+    render_text,
+)
+from ..storage import (
+    CrashOnceKeepingPages,
+    RandomSubsetCrash,
+    StorageEngine,
+    tokens_match,
+)
+
+DEFAULT_KINDS = ("shadow", "reorg", "hybrid")
+_RECENT_EVENTS = 20
+
+
+# ----------------------------------------------------------------------
+# the built-in demo workload
+# ----------------------------------------------------------------------
+
+def _build(kind: str, keys: int, page_size: int, seed: int):
+    """Build an index, commit *keys* keys, then leave a split in flight."""
+    engine = StorageEngine.create(page_size=page_size, seed=seed)
+    tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+    for i in range(keys):
+        tree.insert(i, TID(1, i % 100))
+        if (i + 1) % 32 == 0:
+            engine.sync()
+    engine.sync()
+    splits = tree.stats_splits
+    i = keys
+    while tree.stats_splits == splits:
+        tree.insert(i, TID(1, i % 100))
+        i += 1
+    return engine, tree
+
+
+def _fresh_pages(tree) -> dict[int, bool]:
+    """page_no -> is_leaf for pages written in the crashed window."""
+    token = tree.engine.sync_state.token()
+    out = {}
+    for page_no in range(1, tree.file.n_pages):
+        buf = tree.file.pin(page_no)
+        try:
+            view = NodeView(buf.data, tree.page_size)
+            if tokens_match(view.sync_token, token):
+                out[page_no] = view.is_leaf
+        finally:
+            tree.file.unpin(buf)
+    return out
+
+
+def run_demo_workload(kind: str, *, keys: int = 96,
+                      page_size: int = 512, seed: int = 13) -> None:
+    """Crash an in-flight split under several policies, recovering and
+    re-verifying every committed key after each.
+
+    One deterministic keep-nothing crash, one keeping only the fresh
+    leaves, then a few randomized subsets (the recovery campaign's
+    policy): different surviving page subsets exercise different repair
+    paths (rebuilt-from-prev, restored-backup, peer-path checks, ...).
+    """
+    policies = [lambda t: CrashOnceKeepingPages(set()),
+                lambda t: CrashOnceKeepingPages(
+                    {("ix", p) for p, leaf in _fresh_pages(t).items()
+                     if leaf})]
+    policies += [lambda t, i=i: RandomSubsetCrash(p=1.0,
+                                                  seed=seed * 7 + i)
+                 for i in range(3)]
+    for make_policy in policies:
+        engine, tree = _build(kind, keys, page_size, seed)
+        try:
+            engine.sync(make_policy(tree))
+        except CrashError:
+            pass
+        engine2 = StorageEngine.reopen_after_crash(engine)
+        tree2 = TREE_CLASSES[kind].open(engine2, "ix")
+        for k in range(keys):
+            if tree2.lookup(k) is None:  # pragma: no cover - guard
+                raise SystemExit(f"{kind}: committed key {k} lost")
+        tree2.insert(10_000 + keys, TID(9, 9))
+        engine2.sync()
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+def collect(recent: int = _RECENT_EVENTS) -> dict:
+    """One JSON-ready document: metrics snapshot + trace summary."""
+    trace = get_trace()
+    return {
+        "metrics": get_registry().snapshot(),
+        "trace": {
+            "counts": trace.counts(),
+            "recent": [e.to_dict() for e in trace.events()[-recent:]],
+        },
+    }
+
+
+def render_report(doc: dict) -> str:
+    lines = [render_text(doc["metrics"]), "", "trace event counts:"]
+    counts = doc["trace"]["counts"]
+    if counts:
+        for etype, n in sorted(counts.items()):
+            lines.append(f"  {etype:<14} {n}")
+    else:
+        lines.append("  (none)")
+    recent = doc["trace"]["recent"]
+    if recent:
+        lines.append(f"last {len(recent)} events:")
+        for ev in recent:
+            where = ev.get("file") or "-"
+            page = ev.get("page")
+            token = ev.get("token")
+            dur = ev.get("duration")
+            extra = ", ".join(f"{k}={v}" for k, v in
+                              sorted(ev.get("detail", {}).items()))
+            bits = [f"  #{ev['seq']:<5} {ev['etype']:<12} {where}"]
+            if page is not None:
+                bits.append(f"page={page}")
+            if token is not None:
+                bits.append(f"token={token}")
+            if dur is not None:
+                bits.append(f"{dur * 1e6:.0f}us")
+            if extra:
+                bits.append(extra)
+            lines.append(" ".join(bits))
+    return "\n".join(lines)
+
+
+def _render_diff(diff: dict) -> str:
+    lines = []
+    for section in ("counters", "gauges", "histograms"):
+        entries = diff.get(section, {})
+        if not entries:
+            continue
+        lines.append(f"{section}:")
+        for key, val in sorted(entries.items()):
+            lines.append(f"  {key:<52} {val}")
+    return "\n".join(lines) if lines else "(no change)"
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.stats",
+        description="Run a tiny crash/recovery workload and dump the "
+                    "observability registry.")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text")
+    parser.add_argument("--watch", action="store_true",
+                        help="print a metrics diff after every workload "
+                             "phase instead of one final dump")
+    parser.add_argument("--kinds", default=",".join(DEFAULT_KINDS),
+                        help="comma-separated tree kinds "
+                             f"(default: {','.join(DEFAULT_KINDS)})")
+    parser.add_argument("--keys", type=int, default=96,
+                        help="committed keys per tree (default: 96)")
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument("--no-workload", action="store_true",
+                        help="skip the demo workload; dump whatever the "
+                             "current process already recorded")
+    args = parser.parse_args(argv)
+
+    kinds = [k.strip() for k in args.kinds.split(",") if k.strip()]
+    for kind in kinds:
+        if kind not in TREE_CLASSES:
+            parser.error(f"unknown tree kind {kind!r}; choose from "
+                         f"{sorted(TREE_CLASSES)}")
+
+    if not args.no_workload:
+        for kind in kinds:
+            before = get_registry().snapshot()
+            run_demo_workload(kind, keys=args.keys,
+                              page_size=args.page_size)
+            if args.watch and not args.json:
+                after = get_registry().snapshot()
+                print(f"--- {kind} ---")
+                print(_render_diff(diff_snapshots(before, after)))
+                print()
+
+    doc = collect()
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    elif not args.watch:
+        print(render_report(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

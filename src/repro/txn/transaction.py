@@ -19,6 +19,7 @@ from __future__ import annotations
 import struct
 
 from ..errors import TransactionError
+from ..obs import get_registry
 from ..storage.engine import StorageEngine
 from . import xidlog
 from .xidlog import XidLog
@@ -71,8 +72,17 @@ class TransactionManager:
         self._next_xid = max(stored, 1)
         self._ceiling = 0
         self._ensure_xid_headroom()
-        self.stats_commits = 0
-        self.stats_aborts = 0
+        reg = get_registry()
+        self._m_commits = reg.counter("txn.commits")
+        self._m_aborts = reg.counter("txn.aborts")
+
+    @property
+    def stats_commits(self) -> int:
+        return self._m_commits.value
+
+    @property
+    def stats_aborts(self) -> int:
+        return self._m_aborts.value
 
     # -- xid assignment ---------------------------------------------------
 
@@ -98,7 +108,7 @@ class TransactionManager:
         self.engine.sync()  # may raise CrashError: txn stays uncommitted
         self.log.set_state(txn.xid, xidlog.COMMITTED)
         txn.state = "committed"
-        self.stats_commits += 1
+        self._m_commits.inc()
 
     def abort(self, txn: Transaction) -> None:
         """Record an explicit abort.  Equivalent to doing nothing: an
@@ -107,7 +117,7 @@ class TransactionManager:
             raise TransactionError(f"abort of {txn.state} transaction")
         self.log.set_state(txn.xid, xidlog.ABORTED)
         txn.state = "aborted"
-        self.stats_aborts += 1
+        self._m_aborts.inc()
 
     def is_committed(self, xid: int) -> bool:
         return self.log.is_committed(xid)

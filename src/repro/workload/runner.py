@@ -59,6 +59,22 @@ class Series:
         return 100.0 * self.stdev / mean if mean else 0.0
 
 
+def _obs_extra(tree) -> dict:
+    """Registry-backed per-run observations attached to the result."""
+    pool = tree.file.pool
+    extra = {
+        "repairs": len(tree.repair_log),
+        "pool_hits": pool.stats_hits,
+        "pool_misses": pool.stats_misses,
+        "pool_evictions": pool.stats_evictions,
+    }
+    latencies = tree.repair_log.latency_summary()
+    if latencies:
+        extra["repair_seconds"] = {
+            kind: summary["sum"] for kind, summary in latencies.items()}
+    return extra
+
+
 def build_tree(kind: str, keys, *, page_size: int = 8192,
                codec: str = "uint32", seed: int = 0,
                sync_every: int = 1000,
@@ -89,6 +105,7 @@ def build_tree(kind: str, keys, *, page_size: int = 8192,
         kind=kind, operation="insert", n_ops=count, am_seconds=am_time,
         syncs=engine.stats_syncs, splits=tree.stats_splits,
         height=tree.height, file_pages=tree.file.n_pages,
+        extra=_obs_extra(tree),
     )
     return result, tree
 
@@ -109,7 +126,8 @@ def run_lookups(tree, probes, *, kind: str | None = None) -> RunResult:
         kind=kind or tree.KIND, operation="lookup", n_ops=count,
         am_seconds=am_time, syncs=tree.engine.stats_syncs,
         splits=tree.stats_splits, height=tree.height,
-        file_pages=tree.file.n_pages, extra={"hits": hits},
+        file_pages=tree.file.n_pages,
+        extra={"hits": hits, **_obs_extra(tree)},
     )
 
 

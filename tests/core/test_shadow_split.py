@@ -193,3 +193,43 @@ def test_all_levels_hold_shadow_items(tree):
         finally:
             tree.file.unpin(buf)
     assert internal_seen >= 3
+
+
+def test_advertisement_survives_capacity_pressure_reads():
+    """Regression for the volatile-frame eviction bug: a shadow split
+    leaves the pre-split page's ``new_page`` advertisement in the buffer
+    only (never dirtied).  Under a tiny pool, read pressure used to evict
+    that clean frame, silently discarding the advertisement before the
+    sync that retires it.  Both the advertisement and every key must
+    survive an arbitrary amount of reading before the next sync."""
+    engine = StorageEngine.create(page_size=PAGE, seed=7, pool_capacity=4)
+    tree = ShadowBLinkTree.create(engine, "ix", codec="uint32")
+    keys = fill_tree(tree, range(64))
+    # in-flight window: split without syncing, so the advertisement is
+    # buffer-only and its frame is clean
+    n = 64
+    splits = tree.stats_splits
+    while tree.stats_splits == splits:
+        tree.insert(n, tid_for(n))
+        keys.append(n)
+        n += 1
+    pool = tree.file.pool
+    volatile = [p for p in pool.cached_pages() if pool.is_volatile(p)]
+    assert volatile, "a buffer-only split must leave a volatile frame"
+    # capacity pressure: scan + point reads far exceeding the pool size
+    for _ in range(3):
+        assert [v for v, _ in tree.range_scan()] == keys
+        for k in keys:
+            assert tree.lookup(k) is not None
+    for p in volatile:
+        assert p in pool.cached_pages(), "advertisement frame evicted"
+        assert pool.is_volatile(p)
+        buf = tree.file.pin(p)
+        try:
+            assert NodeView(buf.data, PAGE).new_page != 0
+        finally:
+            tree.file.unpin(buf)
+    assert pool.stats_volatile_exemptions > 0
+    # the sync that makes the split durable retires the advertisement
+    engine.sync()
+    assert not any(pool.is_volatile(p) for p in volatile)

@@ -1,0 +1,62 @@
+"""Trace log: typed events, ring buffer, overflow-surviving counts."""
+
+import pytest
+
+from repro.obs import EVENT_TYPES, TraceLog, get_trace, scoped_trace
+
+
+def test_emit_and_read_back():
+    log = TraceLog()
+    log.emit("sync", token=4, duration=0.25, pages=6)
+    (ev,) = log.events()
+    assert ev.etype == "sync"
+    assert ev.token == 4
+    assert ev.detail["pages"] == 6
+    d = ev.to_dict()
+    assert d["etype"] == "sync" and d["detail"] == {"pages": 6}
+
+
+def test_unknown_event_type_rejected():
+    log = TraceLog()
+    with pytest.raises(ValueError):
+        log.emit("not-a-thing")
+
+
+def test_filter_by_type():
+    log = TraceLog()
+    log.emit("split", page=3)
+    log.emit("sync")
+    log.emit("split", page=9)
+    assert [e.page for e in log.events("split")] == [3, 9]
+
+
+def test_ring_overflow_keeps_counts():
+    log = TraceLog(capacity=4)
+    for _ in range(10):
+        log.emit("evict", page=1)
+    assert len(log) == 4              # ring keeps only the tail
+    assert log.counts()["evict"] == 10  # tallies survive overflow
+    seqs = [e.seq for e in log.events()]
+    assert seqs == sorted(seqs)
+
+
+def test_clear_resets_events_and_counts():
+    log = TraceLog()
+    log.emit("crash")
+    log.clear()
+    assert len(log) == 0
+    assert log.counts() == {}
+
+
+def test_scoped_trace_isolates():
+    outer = get_trace()
+    with scoped_trace() as log:
+        assert get_trace() is log
+        get_trace().emit("repair", page=1)
+        assert log.counts() == {"repair": 1}
+    assert get_trace() is outer
+
+
+def test_event_types_cover_the_documented_schema():
+    assert {"sync", "crash", "split", "repair", "evict", "latch_wait",
+            "fsck_finding"} == set(EVENT_TYPES)

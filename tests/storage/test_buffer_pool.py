@@ -128,3 +128,87 @@ def test_drop_rejects_pinned():
     pool.unpin(buf)
     pool.drop(1)
     assert pool.cached_pages() == []
+
+
+# -- volatile frames under capacity pressure (the eviction bugfix) --------
+
+def _note_volatile_page(pool, page_no, marker=0x5A):
+    """Pin a page, mutate it buffer-only, and advertise the divergence."""
+    buf = pool.pin(page_no)
+    buf.data[0] = marker
+    pool.note_volatile(buf)     # deliberately NOT marked dirty
+    pool.unpin(buf)
+    return buf
+
+
+def test_volatile_frame_survives_capacity_pressure():
+    """Regression: a clean, unpinned frame carrying a buffer-only
+    advertisement (shadow split's ``new_page``) must not be evicted —
+    eviction would silently discard the advertisement before the sync
+    that retires it."""
+    _, pool = make_pool(capacity=2)
+    _note_volatile_page(pool, 1)
+    for p in (2, 3, 4):                     # well past capacity
+        pool.unpin(pool.pin(p))
+    assert 1 in pool.cached_pages()
+    assert pool.is_volatile(1)
+    buf = pool.pin(1)
+    assert buf.data[0] == 0x5A              # advertisement intact
+    pool.unpin(buf)
+    assert pool.stats_volatile_exemptions > 0
+
+
+def test_eviction_skips_volatile_and_takes_next_lru():
+    _, pool = make_pool(capacity=2)
+    _note_volatile_page(pool, 1)            # LRU but exempt
+    pool.unpin(pool.pin(2))
+    pool.unpin(pool.pin(3))                 # evicts 2, not 1
+    assert set(pool.cached_pages()) == {1, 3}
+    assert pool.stats_evictions == 1
+    assert pool.stats_volatile_exemptions >= 1
+
+
+def test_all_volatile_counts_overflow():
+    _, pool = make_pool(capacity=1)
+    _note_volatile_page(pool, 1)
+    pool.unpin(pool.pin(2))                 # nothing evictable
+    assert set(pool.cached_pages()) == {1, 2}
+    assert pool.stats_overflows == 1
+
+
+def test_sync_retires_volatile_notes():
+    """clear_dirty (sync completion) ends the advertisement: the clean
+    divergent frame is dropped so later reads fault the durable image."""
+    disk, pool = make_pool(capacity=2)
+    disk.write_page(1, bytes([7]) * 128)
+    _note_volatile_page(pool, 1)
+    pool.clear_dirty(iter([]))
+    assert 1 not in pool.cached_pages()
+    assert not pool.is_volatile(1)
+    buf = pool.pin(1)
+    assert buf.data[0] == 7                 # durable image, not the note
+    pool.unpin(buf)
+
+
+def test_mark_dirty_supersedes_volatile_note():
+    _, pool = make_pool(capacity=2)
+    buf = pool.pin(1)
+    buf.data[0] = 0x5A
+    pool.note_volatile(buf)
+    pool.mark_dirty(buf)                    # divergence now sync-visible
+    pool.unpin(buf)
+    assert not pool.is_volatile(1)
+
+
+def test_drop_and_remap_discard_volatile_note():
+    _, pool = make_pool()
+    _note_volatile_page(pool, 1)
+    pool.drop(1)
+    assert not pool.is_volatile(1)
+    virt = pool.allocate_virtual(bytearray(128))
+    old = pool.pin(2)
+    old.data[0] = 0x5A
+    pool.note_volatile(old)
+    pool.remap(virt, old)
+    assert not pool.is_volatile(2)
+    pool.unpin(virt)

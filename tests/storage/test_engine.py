@@ -4,6 +4,7 @@ import pytest
 
 from repro.errors import CrashError, ReproError
 from repro.storage import (
+    CrashOnceKeepingPages,
     CrashOnNthSync,
     StorageEngine,
 )
@@ -136,3 +137,32 @@ def test_extension_is_durable_immediately():
     engine2 = StorageEngine.reopen_after_crash(engine)
     file2 = engine2.open_file("a")
     assert file2.allocate() == page_no + 1
+
+
+def test_max_counter_persisted_at_creation():
+    """The SyncState constructor requests a counter-ceiling persist before
+    ``engine.sync_state`` exists; the engine must flush that request with
+    its first control write rather than parking it in a dead attribute."""
+    from repro.storage.engine import _CONTROL_FILE, _CONTROL_STRUCT
+
+    engine = StorageEngine.create(page_size=256)
+    assert not engine._control_flush_pending
+    assert not hasattr(engine, "_pending_max")
+    raw = engine._disks[_CONTROL_FILE].read_page(0)
+    _magic, max_counter, counter, _tok, _clean = \
+        _CONTROL_STRUCT.unpack_from(raw, 0)
+    assert max_counter == engine.sync_state.max_counter > counter
+
+
+def test_crashed_sync_does_not_inflate_completed_count():
+    engine = StorageEngine.create(page_size=256)
+    file = engine.create_file("a")
+    buf = file.pin(file.allocate())
+    buf.data[0] = 1
+    file.mark_dirty(buf)
+    file.unpin(buf)
+    before = engine.stats_syncs
+    with pytest.raises(CrashError):
+        engine.sync(CrashOnceKeepingPages(set()))
+    assert engine.stats_syncs == before
+    assert engine.stats_crashed_syncs == 1
