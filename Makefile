@@ -1,13 +1,16 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint test test-sanitized
+.PHONY: check lint races test test-sanitized
 
 check:
 	sh scripts/check.sh
 
 lint:
-	python -m repro.tools.lint src/
+	python -m repro.tools.lint src/ tests/ benchmarks/
+
+races:
+	python -m repro.tools.races --seeds 3
 
 test:
 	python -m pytest -x -q

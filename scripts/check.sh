@@ -10,7 +10,7 @@ PYTHONPATH=src
 export PYTHONPATH
 
 echo "==> crash-safety lint (python -m repro.tools.lint)"
-python -m repro.tools.lint src/
+python -m repro.tools.lint src/ tests/ benchmarks/
 
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff"
@@ -37,6 +37,15 @@ doc = json.load(sys.stdin)
 assert doc['metrics']['counters']['tree.splits[kind=shadow]'] > 0
 assert doc['trace']['counts'].get('repair', 0) > 0
 print('stats CLI emitted valid JSON with nonzero split/repair counters')
+"
+
+echo "==> race detector: explorer sweep (python -m repro.tools.races)"
+python -m repro.tools.races --seeds 3 --json \
+    | python -c "
+import json, sys
+doc = json.load(sys.stdin)
+assert doc['ok'], doc
+print(f\"{doc['total_runs']} scenario runs, 0 findings\")
 "
 
 echo "==> tier-1 suite under the runtime sanitizer (REPRO_SANITIZE=1)"

@@ -1,0 +1,52 @@
+"""Race tooling for the Section 3.6 latch protocol.
+
+Three cooperating pieces:
+
+:mod:`~repro.analysis.races.runtime`
+    a lock-order and lockset checker layered onto the
+    :mod:`repro.core.concurrency` observer seam: it maintains the global
+    acquisition-order graph across threads (cycles = potential deadlocks
+    that never fired) and flags pages mutated under a read latch, no
+    latch, or a split without the split lock.  Installed alongside the
+    sanitizer under ``REPRO_SANITIZE=1``.
+
+:mod:`~repro.analysis.races.explorer`
+    a deterministic scheduler over the
+    :func:`repro.core.concurrency.set_schedule_hook` seam: worker threads
+    pause at every schedule point and a controller replays seeded
+    interleavings one granted step at a time, optionally snapshotting
+    stable storage mid-schedule for crash-recovery verification.
+
+:mod:`~repro.analysis.races.scenarios`
+    the canned contention scenarios (reader vs. splitter, writer vs.
+    writer, hash-directory splits) the ``python -m repro.tools.races``
+    CLI sweeps.
+"""
+
+from .runtime import (
+    Finding,
+    LockOrderGraph,
+    RaceCheckError,
+    clear_findings,
+    findings,
+    install,
+    race_checked,
+    uninstall,
+)
+from .explorer import ExplorerResult, ScheduleExplorer
+from .scenarios import SCENARIOS, run_scenario
+
+__all__ = [
+    "Finding",
+    "LockOrderGraph",
+    "RaceCheckError",
+    "clear_findings",
+    "findings",
+    "install",
+    "race_checked",
+    "uninstall",
+    "ExplorerResult",
+    "ScheduleExplorer",
+    "SCENARIOS",
+    "run_scenario",
+]

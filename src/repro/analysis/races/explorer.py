@@ -1,0 +1,214 @@
+"""Deterministic interleaving explorer over the schedule-hook seam.
+
+Threaded tests catch races probabilistically; the explorer replays them
+*deterministically*.  Each operation under test runs on its own worker
+thread, but the workers never run concurrently: every worker pauses at
+every :func:`repro.core.concurrency.schedule_point` (latch and split-lock
+acquisitions, releases, would-block waits, child pins) and a controller
+grants exactly one of the paused workers a turn at a time.  The grant
+sequence is drawn from a seeded RNG, so
+
+* a given seed replays the identical interleaving every run, and
+* sweeping seeds enumerates *different* interleavings of the same
+  operations — including ones a wall-clock scheduler would almost never
+  produce (a reader waking in the middle of a split, two writers
+  alternating latch retries).
+
+Would-block waits are rewritten into cooperative retries while the hook
+is installed (see :class:`~repro.core.concurrency.LatchManager`), so a
+blocked worker stays visible: it parks at a ``*_wait`` point instead of
+inside a native condition variable, and the controller simply keeps
+granting turns until someone can make progress.  A run that stops making
+progress is itself a finding ("stuck" — the live analogue of a lock-order
+cycle).
+
+Because every decision point is globally quiescent — each worker is
+parked inside a schedule point, no storage call in flight — it is also a
+**crash-consistent cut**: the controller can snapshot every simulated
+disk's durable pages mid-schedule and a scenario can later reboot an
+engine from the copies and check the recovery contract.  That is the
+paper's crash-during-concurrent-splits story, driven as a test oracle.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ...core.concurrency import set_schedule_hook
+from .runtime import Finding
+
+#: worker states
+_READY = "ready"        # parked at a schedule point, eligible for a turn
+_RUNNING = "running"    # granted; executing until its next point
+_DONE = "done"
+
+DEFAULT_MAX_STEPS = 20_000
+
+
+class _Worker:
+    __slots__ = ("name", "index", "fn", "thread", "state", "last_point",
+                 "error")
+
+    def __init__(self, name: str, index: int, fn: Callable[[], object]):
+        self.name = name
+        self.index = index
+        self.fn = fn
+        self.thread: threading.Thread | None = None
+        self.state = _RUNNING       # becomes READY at its first point
+        self.last_point: tuple[str, dict] | None = None
+        self.error: BaseException | None = None
+
+
+@dataclass
+class ExplorerResult:
+    """Outcome of one explored interleaving."""
+
+    seed: int
+    steps: int
+    decisions: list[str]                       # worker name per grant
+    findings: list[Finding]
+    snapshots: list[tuple[int, object]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+class ScheduleExplorer:
+    """Controller for one deterministic run (one seed, one op set).
+
+    ``crash_rate`` > 0 samples decision points at which ``snapshot()``
+    (supplied per run) copies stable storage; the scenario layer replays
+    recovery from each copy afterwards.
+    """
+
+    def __init__(self, *, seed: int = 0, max_steps: int = DEFAULT_MAX_STEPS,
+                 crash_rate: float = 0.0, max_snapshots: int = 4):
+        self.seed = seed
+        self.max_steps = max_steps
+        self.crash_rate = crash_rate
+        self.max_snapshots = max_snapshots
+        self._rng = random.Random(seed)
+        self._cond = threading.Condition()
+        self._workers: list[_Worker] = []
+        self._by_ident: dict[int, _Worker] = {}
+        self._released = False      # teardown: every point passes through
+
+    # -- the schedule hook (installed via set_schedule_hook) ---------------
+
+    def point(self, kind: str, **detail) -> None:
+        """Called from instrumented code at every potential switch."""
+        if self._released:
+            if detail.get("blocked"):
+                time.sleep(0.0005)  # unmanaged retry loop: don't spin hot
+            return
+        worker = self._by_ident.get(threading.get_ident())
+        if worker is None:
+            # a thread the explorer does not manage (e.g. scenario setup
+            # in the caller) passes through; if it is in a would-block
+            # retry loop, yield so a managed thread can release the lock
+            if detail.get("blocked"):
+                time.sleep(0.0005)
+            return
+        with self._cond:
+            worker.state = _READY
+            worker.last_point = (kind, detail)
+            self._cond.notify_all()
+            while worker.state == _READY and not self._released:
+                self._cond.wait()
+
+    # -- worker plumbing -----------------------------------------------------
+
+    def _body(self, worker: _Worker) -> None:
+        self._by_ident[threading.get_ident()] = worker
+        self.point("start")     # parks until the controller grants a turn
+        try:
+            worker.fn()
+        except BaseException as exc:  # lint: disable=R005 — reported as finding
+            worker.error = exc
+        finally:
+            with self._cond:
+                worker.state = _DONE
+                self._cond.notify_all()
+
+    # -- the run -------------------------------------------------------------
+
+    def run(self, ops: Sequence[tuple[str, Callable[[], object]]], *,
+            snapshot: Callable[[], object] | None = None) -> ExplorerResult:
+        """Run *ops* (name → thunk) under one seeded interleaving."""
+        decisions: list[str] = []
+        findings: list[Finding] = []
+        snapshots: list[tuple[int, object]] = []
+        self._workers = [_Worker(name, i, fn)
+                         for i, (name, fn) in enumerate(ops)]
+        previous_hook = set_schedule_hook(self)
+        steps = 0
+        try:
+            for worker in self._workers:
+                worker.thread = threading.Thread(
+                    target=self._body, args=(worker,),
+                    name=f"explore-{worker.name}", daemon=True)
+                worker.thread.start()
+            with self._cond:
+                while True:
+                    # quiesce: every worker parked at a point or done
+                    while any(w.state == _RUNNING for w in self._workers):
+                        self._cond.wait()
+                    ready = [w for w in self._workers if w.state == _READY]
+                    if not ready:
+                        break
+                    steps += 1
+                    if steps > self.max_steps:
+                        findings.append(Finding(
+                            "stuck",
+                            f"no progress after {self.max_steps} schedule "
+                            f"steps — workers still parked: "
+                            f"{[(w.name, w.last_point) for w in ready]}",
+                        ))
+                        break
+                    if (snapshot is not None
+                            and len(snapshots) < self.max_snapshots
+                            and self._rng.random() < self.crash_rate):
+                        # globally quiescent: a crash-consistent cut
+                        snapshots.append((steps, snapshot()))
+                    chosen = ready[self._rng.randrange(len(ready))]
+                    decisions.append(chosen.name)
+                    chosen.state = _RUNNING
+                    self._cond.notify_all()
+                    while chosen.state == _RUNNING:
+                        self._cond.wait()
+        finally:
+            # teardown: let every parked worker free-run to completion,
+            # then take the hook away so their retries don't spin on us
+            self._released = True
+            with self._cond:
+                self._cond.notify_all()
+            set_schedule_hook(previous_hook)
+            # a run that hit the step cap has workers blocked for real —
+            # don't wait long for threads we already know are parked
+            join_timeout = 0.2 if steps > self.max_steps else 10
+            for worker in self._workers:
+                if worker.thread is not None:
+                    worker.thread.join(timeout=join_timeout)
+            self._by_ident.clear()
+        for worker in self._workers:
+            if worker.thread is not None and worker.thread.is_alive():
+                findings.append(Finding(
+                    "stuck",
+                    f"worker {worker.name!r} never finished — blocked "
+                    f"outside the cooperative protocol",
+                ))
+            if worker.error is not None:
+                findings.append(Finding(
+                    "exception",
+                    f"{worker.name}: {type(worker.error).__name__}: "
+                    f"{worker.error}",
+                    thread=worker.name,
+                ))
+        return ExplorerResult(seed=self.seed, steps=steps,
+                              decisions=decisions, findings=findings,
+                              snapshots=snapshots)

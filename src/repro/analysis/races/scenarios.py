@@ -1,0 +1,302 @@
+"""Canned contention scenarios for the schedule explorer.
+
+Each scenario builds a real engine + index, commits (syncs) a base key
+set, and then races two operations through
+:class:`~repro.analysis.races.explorer.ScheduleExplorer`:
+
+* **reader vs. splitter** — a reader probes committed keys while a
+  writer inserts enough to force page splits; every probe must hit.
+  This is the paper's headline interleaving: descents without lock
+  coupling against an in-flight split.
+* **writer vs. writer** — a deleter races a split-forcing inserter;
+  both serialize through the split lock + write latch, and the final
+  tree must hold exactly (committed − deleted) ∪ inserted.
+* the same over the **extendible hash** index, where the split is a
+  bucket split (possibly with a directory doubling).
+
+With ``crash_rate > 0`` the explorer snapshots stable storage at
+sampled (quiescent) decision points; :func:`run_scenario` then reboots
+an engine from each snapshot and checks the recovery contract —
+committed keys recoverable, structure sound — exactly as the recovery
+tests do, but at schedule-point granularity inside concurrent
+operations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.concurrency import ConcurrentTree
+from ...core.keys import TID
+from ...errors import ReproError
+from .explorer import DEFAULT_MAX_STEPS, ScheduleExplorer
+from .runtime import Finding, race_checked
+from . import runtime
+
+PAGE_SIZE = 512
+COMMITTED = 96          # keys synced before the race starts
+RACE_INSERTS = 96       # split-forcing inserts raced against the other op
+
+
+def _tid(i: int) -> TID:
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+def _rebuild_engine(engine, snap: dict[str, dict[int, bytes]]):
+    """Boot a fresh engine over snapshotted durable state (the crash
+    copy), leaving the live engine untouched."""
+    from ...storage.disk import SimulatedDisk
+    from ...storage.engine import StorageEngine
+
+    disks = {}
+    for name, pages in snap.items():
+        disk = SimulatedDisk(name, engine.page_size, seed=1)
+        disk.restore(pages)
+        disks[name] = disk
+    return StorageEngine(page_size=engine.page_size, disks=disks)
+
+
+class Scenario:
+    """Base: subclasses fill in setup/ops/verify; the explorer drives."""
+
+    name: str
+    #: whether crash snapshots carry a recovery contract (the plain
+    #: "normal" B-tree does not recover — skip crash verification there)
+    crash_safe: bool = True
+
+    def setup(self) -> None:
+        raise NotImplementedError
+
+    def ops(self) -> list:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict[str, dict[int, bytes]]:
+        return {name: disk.snapshot()
+                for name, disk in self.engine._disks.items()}
+
+    def verify_live(self) -> None:
+        raise NotImplementedError
+
+    def verify_crash(self, snap) -> None:
+        raise NotImplementedError
+
+
+class ReaderVsSplitter(Scenario):
+    """A reader probes committed keys while a writer forces splits."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self.name = f"reader-vs-splitter-{kind}"
+        self.crash_safe = kind != "normal"
+
+    def setup(self) -> None:
+        from ... import StorageEngine, TREE_CLASSES
+
+        self.engine = StorageEngine.create(page_size=PAGE_SIZE, seed=7)
+        self.inner = TREE_CLASSES[self.kind].create(
+            self.engine, "ix", codec="uint32")
+        self.ctree = ConcurrentTree(self.inner)
+        self.committed = set(range(0, COMMITTED * 2, 2))
+        for i in sorted(self.committed):
+            self.ctree.insert(i, _tid(i))
+        self.engine.sync()
+        self.inserted = list(range(1, RACE_INSERTS * 2, 2))
+        self._splits_before = self.inner.stats_splits
+
+    def ops(self) -> list:
+        def writer():
+            for i in self.inserted:
+                self.ctree.insert(i, _tid(i))
+
+        def reader():
+            for probe in sorted(self.committed)[:RACE_INSERTS]:
+                assert self.ctree.lookup(probe) is not None, \
+                    f"committed key {probe} vanished mid-schedule"
+
+        return [("writer", writer), ("reader", reader)]
+
+    def verify_live(self) -> None:
+        assert self.inner.stats_splits > self._splits_before, \
+            "scenario rot: the writer no longer forces a split"
+        found = {int.from_bytes(k, "big") for k, _ in self.inner.check()}
+        expected = self.committed | set(self.inserted)
+        missing = sorted(expected - found)
+        assert not missing, f"keys lost after the race: {missing[:10]}"
+
+    def verify_crash(self, snap) -> None:
+        from ... import TREE_CLASSES
+
+        engine2 = _rebuild_engine(self.engine, snap)
+        tree2 = TREE_CLASSES[self.kind].open(engine2, "ix")
+        missing = [k for k in sorted(self.committed)
+                   if tree2.lookup(k) is None]
+        assert not missing, \
+            f"committed keys lost across the crash: {missing[:10]}"
+        tree2.check(strict_tokens=False, require_peer_chain=False)
+
+
+class WriterVsWriter(ReaderVsSplitter):
+    """A deleter races a split-forcing inserter (satellite: delete racing
+    a split, driven through the explorer rather than raw threads)."""
+
+    def __init__(self, kind: str):
+        super().__init__(kind)
+        self.name = f"writer-vs-writer-{kind}"
+
+    def setup(self) -> None:
+        super().setup()
+        self.deleted = sorted(self.committed)[::4][:RACE_INSERTS // 2]
+
+    def ops(self) -> list:
+        def inserter():
+            for i in self.inserted:
+                self.ctree.insert(i, _tid(i))
+
+        def deleter():
+            for i in self.deleted:
+                self.ctree.delete(i)
+
+        return [("inserter", inserter), ("deleter", deleter)]
+
+    def verify_live(self) -> None:
+        assert self.inner.stats_splits > self._splits_before, \
+            "scenario rot: the inserter no longer forces a split"
+        found = {int.from_bytes(k, "big") for k, _ in self.inner.check()}
+        expected = (self.committed - set(self.deleted)) | set(self.inserted)
+        missing = sorted(expected - found)
+        assert not missing, f"keys lost after the race: {missing[:10]}"
+        ghosts = sorted(found & set(self.deleted))
+        assert not ghosts, f"deleted keys resurrected: {ghosts[:10]}"
+
+
+class HashReaderVsSplitter(Scenario):
+    """Reader vs. bucket-splitting writer over the extendible hash."""
+
+    name = "reader-vs-splitter-xhash"
+    crash_safe = True
+
+    def setup(self) -> None:
+        from ... import StorageEngine
+        from ...hash.extendible import ExtendibleHashIndex
+
+        self.engine = StorageEngine.create(page_size=PAGE_SIZE, seed=7)
+        self.inner = ExtendibleHashIndex.create(
+            self.engine, "hx", codec="uint32")
+        self.ctree = ConcurrentTree(self.inner)
+        self.committed = set(range(0, COMMITTED * 2, 2))
+        for i in sorted(self.committed):
+            self.ctree.insert(i, _tid(i))
+        self.engine.sync()
+        self.inserted = list(range(1, RACE_INSERTS * 2, 2))
+        self._splits_before = self.inner.stats_bucket_splits
+
+    def ops(self) -> list:
+        def writer():
+            for i in self.inserted:
+                self.ctree.insert(i, _tid(i))
+
+        def reader():
+            for probe in sorted(self.committed)[:RACE_INSERTS]:
+                assert self.ctree.lookup(probe) is not None, \
+                    f"committed key {probe} vanished mid-schedule"
+
+        return [("writer", writer), ("reader", reader)]
+
+    def verify_live(self) -> None:
+        assert self.inner.stats_bucket_splits > self._splits_before, \
+            "scenario rot: the writer no longer forces a bucket split"
+        found = {int.from_bytes(k, "big") for k, _ in self.inner.check()}
+        expected = self.committed | set(self.inserted)
+        missing = sorted(expected - found)
+        assert not missing, f"keys lost after the race: {missing[:10]}"
+
+    def verify_crash(self, snap) -> None:
+        from ...hash.extendible import ExtendibleHashIndex
+
+        engine2 = _rebuild_engine(self.engine, snap)
+        index2 = ExtendibleHashIndex.open(engine2, "hx")
+        missing = [k for k in sorted(self.committed)
+                   if index2.lookup(k) is None]
+        assert not missing, \
+            f"committed keys lost across the crash: {missing[:10]}"
+        index2.check()
+
+
+#: name → zero-argument factory, in sweep order
+SCENARIOS: dict = {
+    "reader-vs-splitter-shadow": lambda: ReaderVsSplitter("shadow"),
+    "reader-vs-splitter-reorg": lambda: ReaderVsSplitter("reorg"),
+    "reader-vs-splitter-hybrid": lambda: ReaderVsSplitter("hybrid"),
+    "reader-vs-splitter-normal": lambda: ReaderVsSplitter("normal"),
+    "writer-vs-writer-shadow": lambda: WriterVsWriter("shadow"),
+    "writer-vs-writer-reorg": lambda: WriterVsWriter("reorg"),
+    "reader-vs-splitter-xhash": HashReaderVsSplitter,
+}
+
+
+@dataclass
+class ScenarioRun:
+    """One scenario under one seed, fully verified."""
+
+    scenario: str
+    seed: int
+    steps: int
+    decisions: list[str]
+    snapshots: int
+    findings: list[Finding] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "steps": self.steps,
+            "snapshots": self.snapshots,
+            "ok": self.ok,
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def run_scenario(scenario: Scenario, *, seed: int = 0,
+                 crash_rate: float = 0.02,
+                 max_steps: int = DEFAULT_MAX_STEPS) -> ScenarioRun:
+    """Set up, explore one seeded interleaving, verify live state and
+    every crash snapshot, and aggregate the findings."""
+    with race_checked():
+        runtime_before = len(runtime.findings())
+        scenario.setup()
+        explorer = ScheduleExplorer(
+            seed=seed, max_steps=max_steps,
+            crash_rate=crash_rate if scenario.crash_safe else 0.0)
+        result = explorer.run(
+            scenario.ops(),
+            snapshot=scenario.snapshot if scenario.crash_safe else None)
+        findings = list(result.findings)
+        try:
+            scenario.verify_live()
+        except (AssertionError, ReproError) as exc:
+            findings.append(Finding("live-verify-failed", str(exc)))
+        for step, snap in result.snapshots:
+            try:
+                scenario.verify_crash(snap)
+            except (AssertionError, ReproError) as exc:
+                findings.append(Finding(
+                    "crash-recovery-failed",
+                    f"recovery from the snapshot at step {step} failed: "
+                    f"{exc}",
+                    detail={"step": step}))
+        # merge advisory findings the runtime checker recorded (e.g.
+        # lock-order cycles that never fired), deduplicating the fatal
+        # ones that already surfaced as worker exceptions
+        seen = {(f.kind, f.message) for f in findings}
+        for finding in runtime.findings()[runtime_before:]:
+            if (finding.kind, finding.message) not in seen:
+                findings.append(finding)
+                seen.add((finding.kind, finding.message))
+    return ScenarioRun(
+        scenario=scenario.name, seed=seed, steps=result.steps,
+        decisions=result.decisions, snapshots=len(result.snapshots),
+        findings=findings)

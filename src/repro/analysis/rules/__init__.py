@@ -15,6 +15,17 @@ R004      sync-token comparisons go through the SyncState helpers
           (``synced_since_init`` and friends), never raw ``<`` / ``>=`` (3.2)
 R005      no bare ``except:`` / ``except Exception`` that swallows
           :mod:`repro.errors` failures without re-raising
+R006      the split lock is acquired strictly before the write latch, and
+          split-capable work under a write latch without the split lock is
+          flagged too (3.6)
+R007      the child's buffer is pinned before the parent's latch is
+          released on descent paths — the unlatch-then-pin window is where
+          the allocator may recycle the child (3.6)
+R008      no blocking call (sync, sleep, join, bare acquire, write-latch
+          acquisition) while a read latch is held on the descent path (3.6)
+R009      every latch / split-lock acquisition has a release reachable on
+          every exception edge — ``try/finally``, a re-raising handler, or
+          release as the immediately following statement
 ========  ==================================================================
 """
 
@@ -25,6 +36,12 @@ from .pins import UnbalancedPinRule
 from .mutation import DirectDataMutationRule, MissingMarkDirtyRule
 from .tokens import RawTokenComparisonRule
 from .exceptions import SwallowedErrorRule
+from .latches import (
+    BlockingUnderReadLatchRule,
+    LatchReleaseOnExceptionRule,
+    PinBeforeUnlatchRule,
+    SplitLockOrderRule,
+)
 
 __all__ = [
     "all_rules",
@@ -33,6 +50,10 @@ __all__ = [
     "MissingMarkDirtyRule",
     "RawTokenComparisonRule",
     "SwallowedErrorRule",
+    "SplitLockOrderRule",
+    "PinBeforeUnlatchRule",
+    "BlockingUnderReadLatchRule",
+    "LatchReleaseOnExceptionRule",
 ]
 
 
@@ -44,4 +65,8 @@ def all_rules() -> list[Rule]:
         MissingMarkDirtyRule(),
         RawTokenComparisonRule(),
         SwallowedErrorRule(),
+        SplitLockOrderRule(),
+        PinBeforeUnlatchRule(),
+        BlockingUnderReadLatchRule(),
+        LatchReleaseOnExceptionRule(),
     ]

@@ -1,0 +1,384 @@
+"""R006–R009 — the latch-protocol discipline of Section 3.6, as lint.
+
+The paper's concurrency correctness hangs on *ordering* conventions no
+functional test structurally covers:
+
+R006
+    the split lock is acquired strictly **before** the write latch, never
+    while one is held, and split-capable work under a write latch without
+    the split lock is equally a violation (so *deleting* the acquisition
+    is caught, not just reordering it).  The check walks the file's call
+    graph: a helper that acquires the split lock (or splits) taints every
+    caller that reaches it while holding a write latch.
+R007
+    on a descent path, the child's buffer is **pinned before** the
+    parent's latch is released — the window between unlatch and pin is
+    exactly where the allocator may recycle the child (3.6).
+R008
+    no blocking call (engine sync, sleeps, joins, bare lock acquires,
+    write-latch acquisition) while holding a **read latch** on the
+    descent path — readers never couple, so a blocked reader stalls
+    every writer behind its latch.
+R009
+    every latch/split-lock acquisition has a release reachable on every
+    exception edge — ``try/finally``, a re-raising handler, the
+    ``with``-statement form, or release as the immediately following
+    statement.
+
+Like R001–R005, the rules key on the repo's naming conventions: latch
+managers are reached through a name whose last segment contains
+``latch`` (``self.latches``, ``latch_mgr``), split locks through one
+containing ``split`` (``self.split_lock``), and split-capable tree
+operations are ``insert`` / ``delete`` on a ``tree``-named receiver or
+the split helpers themselves.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import (
+    FileContext,
+    Rule,
+    Violation,
+    callee_name,
+    dotted_name,
+    iter_functions,
+    walk_function_scope,
+)
+
+#: Tree operations that may split a page (directly or transitively).
+SPLIT_CAPABLE = {"_split_and_insert", "_split_bucket", "_double_directory"}
+#: ... and the public mutators, when invoked on a tree-named receiver.
+TREE_MUTATORS = {"insert", "delete"}
+
+#: Calls that may block the calling thread (R008).
+BLOCKING_CALLEES = {"sync", "fsync", "sleep", "join", "wait", "acquire",
+                    "acquire_write"}
+
+LATCH_ACQUIRES = {"acquire_read", "acquire_write"}
+LATCH_RELEASES = {"release", "release_all"}
+PIN_CALLEES = {"pin", "pin_meta", "_pin", "pinned"}
+
+
+def _receiver_name(call: ast.Call) -> str:
+    """Last dotted segment of the call receiver: ``self.split_lock.acquire``
+    -> ``split_lock``; bare names -> ``""``."""
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        dn = dotted_name(func.value)
+        if dn is not None:
+            return dn.rsplit(".", 1)[-1]
+        if isinstance(func.value, ast.Attribute):
+            return func.value.attr
+    return ""
+
+
+def _is_split_acquire(call: ast.Call) -> bool:
+    return callee_name(call) == "acquire" \
+        and "split" in _receiver_name(call).lower()
+
+
+def _is_split_release(call: ast.Call) -> bool:
+    return callee_name(call) == "release" \
+        and "split" in _receiver_name(call).lower()
+
+
+def _is_latch_call(call: ast.Call, names: set[str]) -> bool:
+    name = callee_name(call)
+    if name not in names:
+        return False
+    if name in ("acquire_read", "acquire_write", "release_all"):
+        return True  # the method name alone is distinctive
+    return "latch" in _receiver_name(call).lower()
+
+
+def _is_tree_mutation(call: ast.Call) -> bool:
+    name = callee_name(call)
+    if name in SPLIT_CAPABLE:
+        return True
+    return name in TREE_MUTATORS \
+        and "tree" in _receiver_name(call).lower()
+
+
+def _calls_in_order(fn: ast.AST) -> list[ast.Call]:
+    calls = [node for node in walk_function_scope(fn)
+             if isinstance(node, ast.Call)]
+    calls.sort(key=lambda c: (c.lineno, c.col_offset))
+    return calls
+
+
+def _local_callee(call: ast.Call, local_fns: dict[str, ast.AST]) -> str | None:
+    """Name of a same-file function this call may dispatch to: bare
+    ``helper()`` or ``self.helper()``."""
+    name = callee_name(call)
+    if name not in local_fns:
+        return None
+    func = call.func
+    if isinstance(func, ast.Name):
+        return name
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name) \
+            and func.value.id in ("self", "cls"):
+        return name
+    return None
+
+
+class SplitLockOrderRule(Rule):
+    rule_id = "R006"
+    summary = "split lock must be acquired before (never under) a write latch"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        local_fns = {fn.name: fn for fn in iter_functions(ctx.tree)}
+        may_split = self._closure(local_fns, self._splits_directly)
+        may_take_split = self._closure(local_fns, self._takes_split_directly)
+        for fn in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn, local_fns,
+                                            may_split, may_take_split)
+
+    # -- call-graph summaries ---------------------------------------------
+
+    @staticmethod
+    def _splits_directly(fn: ast.AST) -> bool:
+        return any(_is_tree_mutation(c) for c in _calls_in_order(fn))
+
+    @staticmethod
+    def _takes_split_directly(fn: ast.AST) -> bool:
+        return any(_is_split_acquire(c) for c in _calls_in_order(fn))
+
+    @staticmethod
+    def _closure(local_fns: dict[str, ast.AST], base) -> set[str]:
+        """Fixpoint of *base* over same-file calls: the set of function
+        names that reach the property directly or transitively."""
+        tainted = {name for name, fn in local_fns.items() if base(fn)}
+        changed = True
+        while changed:
+            changed = False
+            for name, fn in local_fns.items():
+                if name in tainted:
+                    continue
+                for call in _calls_in_order(fn):
+                    callee = _local_callee(call, local_fns)
+                    if callee in tainted:
+                        tainted.add(name)
+                        changed = True
+                        break
+        return tainted
+
+    # -- the linear protocol walk ------------------------------------------
+
+    def _check_function(self, ctx: FileContext, fn: ast.AST,
+                        local_fns: dict[str, ast.AST],
+                        may_split: set[str],
+                        may_take_split: set[str]) -> Iterator[Violation]:
+        write_held = 0
+        split_held = False
+        for call in _calls_in_order(fn):
+            name = callee_name(call)
+            if _is_split_acquire(call):
+                if write_held:
+                    yield self.violation(
+                        ctx, call,
+                        "split lock acquired while a write latch is held — "
+                        "Section 3.6 requires split-before-write; release "
+                        "the write latch first",
+                    )
+                split_held = True
+            elif _is_split_release(call):
+                split_held = False
+            elif name == "acquire_write":
+                write_held += 1
+            elif _is_latch_call(call, LATCH_RELEASES):
+                write_held = 0 if name == "release_all" \
+                    else max(0, write_held - 1)
+            elif write_held and not split_held:
+                if _is_tree_mutation(call):
+                    yield self.violation(
+                        ctx, call,
+                        f"{name}() may split while a write latch is held "
+                        "but the split lock was never acquired — the "
+                        "deadlock-freedom argument of Section 3.6 needs "
+                        "the (split, write) pair taken in that order",
+                    )
+                else:
+                    callee = _local_callee(call, local_fns)
+                    if callee in may_take_split:
+                        yield self.violation(
+                            ctx, call,
+                            f"{callee}() acquires the split lock and is "
+                            "called here under a write latch — "
+                            "split-before-write (Section 3.6)",
+                        )
+                    elif callee in may_split:
+                        yield self.violation(
+                            ctx, call,
+                            f"{callee}() may split and is called here "
+                            "under a write latch without the split lock "
+                            "(Section 3.6)",
+                        )
+
+
+class PinBeforeUnlatchRule(Rule):
+    rule_id = "R007"
+    summary = "child pin must precede the parent unlatch on descent paths"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            calls = _calls_in_order(fn)
+            has_acquire = any(_is_latch_call(c, LATCH_ACQUIRES)
+                              for c in calls)
+            has_pin = any(callee_name(c) in PIN_CALLEES for c in calls)
+            if not (has_acquire and has_pin):
+                continue  # not a descent-shaped function
+            yield from self._check_descent(ctx, calls)
+
+    def _check_descent(self, ctx: FileContext,
+                       calls: list[ast.Call]) -> Iterator[Violation]:
+        last_acquire: int | None = None
+        pinned_since_acquire = False
+        for i, call in enumerate(calls):
+            name = callee_name(call)
+            if _is_latch_call(call, LATCH_ACQUIRES):
+                last_acquire = i
+                pinned_since_acquire = False
+            elif name in PIN_CALLEES:
+                pinned_since_acquire = True
+            elif name == "release" and _is_latch_call(call, {"release"}):
+                if last_acquire is not None and not pinned_since_acquire \
+                        and any(callee_name(c) in PIN_CALLEES
+                                for c in calls[i + 1:]):
+                    yield self.violation(
+                        ctx, call,
+                        "parent latch released before the child's buffer "
+                        "is pinned — the allocator may recycle the child "
+                        "in that window (Section 3.6: pin, then unlatch)",
+                    )
+
+
+class BlockingUnderReadLatchRule(Rule):
+    rule_id = "R008"
+    summary = "blocking call while holding a read latch on the descent path"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FileContext,
+                        fn: ast.AST) -> Iterator[Violation]:
+        read_held = 0
+        for call in _calls_in_order(fn):
+            name = callee_name(call)
+            if name == "acquire_read":
+                if read_held:
+                    yield self.violation(
+                        ctx, call,
+                        "read latch acquired while one is already held — "
+                        "readers never couple (Section 3.6: release one "
+                        "latch before acquiring the next)",
+                    )
+                read_held += 1
+            elif _is_latch_call(call, LATCH_RELEASES):
+                read_held = 0 if name == "release_all" \
+                    else max(0, read_held - 1)
+            elif read_held and name in BLOCKING_CALLEES:
+                yield self.violation(
+                    ctx, call,
+                    f"{name}() may block while a read latch is held — "
+                    "a stalled reader blocks every writer queued behind "
+                    "its latch (Section 3.6)",
+                )
+
+
+class LatchReleaseOnExceptionRule(Rule):
+    rule_id = "R009"
+    summary = "latch acquisition without a release on every exception edge"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            yield from self._check_function(ctx, fn)
+
+    def _check_function(self, ctx: FileContext,
+                        fn: ast.AST) -> Iterator[Violation]:
+        acquires: list[tuple[ast.Call, str]] = []  # (call, family)
+        for call in _calls_in_order(fn):
+            if _is_split_acquire(call):
+                acquires.append((call, "split"))
+            elif _is_latch_call(call, LATCH_ACQUIRES):
+                acquires.append((call, "latch"))
+        if not acquires:
+            return
+        cleanup = self._cleanup_families(fn)
+        bodies = list(self._statement_bodies(fn))
+        for call, family in acquires:
+            if family in cleanup:
+                continue
+            if self._released_immediately(call, family, bodies):
+                continue
+            what = "split lock" if family == "split" else "latch"
+            yield self.violation(
+                ctx, call,
+                f"{what} acquired here but no path guarantees its release: "
+                f"wrap the protected region in try/finally (or use the "
+                f"with-statement form)",
+            )
+
+    @staticmethod
+    def _cleanup_families(fn: ast.AST) -> set[str]:
+        """Lock families released inside a ``finally`` block or an
+        ``except`` handler that re-raises."""
+        families: set[str] = set()
+
+        def note(stmts: list[ast.stmt]) -> None:
+            for stmt in stmts:
+                for sub in ast.walk(stmt):
+                    if not isinstance(sub, ast.Call):
+                        continue
+                    if _is_split_release(sub):
+                        families.add("split")
+                    elif _is_latch_call(sub, LATCH_RELEASES):
+                        families.add("latch")
+
+        for node in walk_function_scope(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            note(node.finalbody)
+            for handler in node.handlers:
+                if any(isinstance(s, ast.Raise)
+                       for stmt in handler.body for s in ast.walk(stmt)):
+                    note(handler.body)
+        return families
+
+    @staticmethod
+    def _statement_bodies(fn: ast.AST):
+        for node in [fn, *walk_function_scope(fn)]:
+            for attr in ("body", "orelse", "finalbody"):
+                block = getattr(node, attr, None)
+                if isinstance(block, list) and block \
+                        and isinstance(block[0], ast.stmt):
+                    yield block
+
+    @staticmethod
+    def _released_immediately(call: ast.Call, family: str,
+                              bodies) -> bool:
+        """The statement right after the acquire is the matching release
+        (touch-and-release), or a Try whose finally releases the family
+        (the canonical acquire(); try: ... finally: release())."""
+        def releases(stmt: ast.stmt) -> bool:
+            if isinstance(stmt, ast.Try):
+                return any(releases(s) for s in stmt.finalbody)
+            for sub in ast.walk(stmt):
+                if not isinstance(sub, ast.Call):
+                    continue
+                if family == "split" and _is_split_release(sub):
+                    return True
+                if family == "latch" \
+                        and _is_latch_call(sub, LATCH_RELEASES):
+                    return True
+            return False
+
+        for block in bodies:
+            for i, stmt in enumerate(block):
+                holds_call = any(sub is call for sub in ast.walk(stmt))
+                if holds_call:
+                    return i + 1 < len(block) and releases(block[i + 1])
+        return False

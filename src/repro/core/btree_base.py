@@ -55,6 +55,7 @@ from ..storage.buffer_pool import Buffer
 from ..storage.engine import StorageEngine
 from ..storage.pagefile import PageFile
 from . import items as I
+from .concurrency import schedule_point
 from .detect import Action, DetectionReport, Kind, RepairLog
 from .keys import CODECS, FULL_BOUNDS, MIN_KEY, TID, KeyBounds, KeyCodec
 from .meta import MetaView
@@ -420,6 +421,7 @@ class BLinkTree:
                 child_no = view.child_at(slot)
                 child_bounds = self._child_bounds(view, slot, bounds)
                 child_buf = self.file.pin(child_no)
+                schedule_point("pin_child", page=child_no)
                 child_view = NodeView(child_buf.data, self.page_size)
                 if self.VERIFIES:
                     self._check_child(entry, child_no, child_buf,

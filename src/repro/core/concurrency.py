@@ -30,10 +30,26 @@ Two layers live here:
     whole operations.  CPython's GIL means wrapping cannot demonstrate
     parallel speedups, but it does exercise real multi-threaded
     interleavings of reads against writers for the correctness tests.
+
+Both layers expose two *hook seams* the race tooling plugs into
+(:mod:`repro.analysis.races`):
+
+* :func:`set_schedule_hook` installs a cooperative scheduler.  Every
+  latch acquisition/release and every would-block wait becomes a
+  *schedule point*: the hook may pause the calling thread until a
+  deterministic controller grants it a turn.  Blocking waits are
+  rewritten into non-blocking retries while a hook is installed, so no
+  hooked thread ever parks invisibly inside a condition variable — the
+  precondition for deterministic replay.
+* :func:`set_race_observer` installs a lock-event observer.  It is told
+  about every successful acquire and every release, with a stable lock
+  key, so it can maintain the global acquisition-order graph and lockset
+  state across threads.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 from collections import defaultdict
 from time import perf_counter
@@ -46,12 +62,66 @@ class LatchProtocolError(ReproError):
     """A latch-ordering or conflict-matrix invariant was violated."""
 
 
+# ---------------------------------------------------------------------------
+# hook seams (the race tooling's attachment points)
+# ---------------------------------------------------------------------------
+
+#: Serial numbers give lock instances identities that — unlike ``id()`` —
+#: are never reused, so the acquisition-order graph cannot alias two
+#: managers that happened to share an address across garbage collections.
+_SERIALS = itertools.count(1)
+
+_schedule_hook = None
+_race_observer = None
+
+
+def set_schedule_hook(hook):
+    """Install *hook* (``point(kind, **detail)``) as the cooperative
+    scheduler; returns the previous hook.  ``None`` uninstalls."""
+    global _schedule_hook
+    previous = _schedule_hook
+    _schedule_hook = hook
+    return previous
+
+
+def set_race_observer(observer):
+    """Install *observer* (``on_acquire(key, mode)`` / ``on_release(key)``)
+    for lock-order tracking; returns the previous observer."""
+    global _race_observer
+    previous = _race_observer
+    _race_observer = observer
+    return previous
+
+
+def schedule_point(kind: str, **detail) -> None:
+    """A potential thread switch: pauses until the installed scheduler
+    (if any) grants this thread a turn.  No-op without a hook, so the
+    normal-path cost is one global load and a branch."""
+    hook = _schedule_hook
+    if hook is not None:
+        hook.point(kind, **detail)
+
+
+def _observe_acquire(key: tuple, mode: str) -> None:
+    observer = _race_observer
+    if observer is not None:
+        observer.on_acquire(key, mode)
+
+
+def _observe_release(key: tuple) -> None:
+    observer = _race_observer
+    if observer is not None:
+        observer.on_release(key)
+
+
 class LatchManager:
     """Per-page read/write latches with protocol assertions.
 
     Latches are short-term (operation-scoped), unlike transaction locks.
-    Readers share; writers are exclusive.  The manager tracks, per
-    thread, the latches held, and asserts the Lehman-Yao discipline:
+    Readers share; writers are exclusive and take preference over newly
+    arriving readers (so a stream of readers cannot starve a writer).
+    The manager tracks, per thread, the latches held, and asserts the
+    Lehman-Yao discipline:
 
     * descending code may hold at most one latch at a time
       ("locks are not coupled; readers always release one lock before
@@ -60,10 +130,12 @@ class LatchManager:
     """
 
     def __init__(self):
+        self.serial = next(_SERIALS)
         self._mutex = threading.Lock()
         self._cond = threading.Condition(self._mutex)
         self._readers: dict[int, int] = defaultdict(int)
         self._writer: dict[int, int | None] = {}
+        self._w_waiting: dict[int, int] = defaultdict(int)
         self._held: dict[int, list[tuple[int, str]]] = defaultdict(list)
         self._m_waits = get_registry().counter("latch.waits")
 
@@ -74,40 +146,72 @@ class LatchManager:
     def _me(self) -> int:
         return threading.get_ident()
 
+    def _key(self, page_no: int) -> tuple:
+        return ("latch", self.serial, page_no)
+
     def _waited(self, page_no: int, mode: str, started: float) -> None:
         get_trace().emit("latch_wait", page=page_no, mode=mode,
                          duration=perf_counter() - started)
 
+    def _wait(self, kind: str, page_no: int) -> None:
+        """Block until the conflict may have cleared.
+
+        With a schedule hook installed the blocking wait becomes a
+        cooperative retry: drop the monitor, hand the turn back to the
+        controller, reacquire, re-check.  The caller's ``while`` loop
+        supplies the re-check, exactly as it does for a real
+        ``Condition.wait``.
+        """
+        hook = _schedule_hook
+        if hook is not None:
+            self._mutex.release()
+            try:
+                hook.point(kind, page=page_no, blocked=True)
+            finally:
+                self._mutex.acquire()
+        else:
+            self._cond.wait()
+
     def acquire_read(self, page_no: int, *, max_held: int = 1) -> None:
+        schedule_point("latch_r", page=page_no)
         me = self._me()
         with self._cond:
             self._assert_capacity(me, max_held)
+            own = sum(1 for p, m in self._held[me] if p == page_no)
             contended_at = None
-            while self._writer.get(page_no) not in (None, me):
+            while (self._writer.get(page_no) not in (None, me)
+                   or (self._w_waiting[page_no] and not own)):
                 if contended_at is None:
                     contended_at = perf_counter()
                 self._m_waits.inc()
-                self._cond.wait()
+                self._wait("latch_r_wait", page_no)
             if contended_at is not None:
                 self._waited(page_no, "r", contended_at)
             self._readers[page_no] += 1
             self._held[me].append((page_no, "r"))
+        _observe_acquire(self._key(page_no), "r")
 
     def acquire_write(self, page_no: int, *, max_held: int = 2) -> None:
+        schedule_point("latch_w", page=page_no)
         me = self._me()
         with self._cond:
             self._assert_capacity(me, max_held)
-            contended_at = None
-            while (self._writer.get(page_no) not in (None, me)
-                   or self._reader_conflict(page_no, me)):
-                if contended_at is None:
-                    contended_at = perf_counter()
-                self._m_waits.inc()
-                self._cond.wait()
-            if contended_at is not None:
-                self._waited(page_no, "w", contended_at)
+            self._w_waiting[page_no] += 1
+            try:
+                contended_at = None
+                while (self._writer.get(page_no) not in (None, me)
+                       or self._reader_conflict(page_no, me)):
+                    if contended_at is None:
+                        contended_at = perf_counter()
+                    self._m_waits.inc()
+                    self._wait("latch_w_wait", page_no)
+                if contended_at is not None:
+                    self._waited(page_no, "w", contended_at)
+            finally:
+                self._w_waiting[page_no] -= 1
             self._writer[page_no] = me
             self._held[me].append((page_no, "w"))
+        _observe_acquire(self._key(page_no), "w")
 
     def _reader_conflict(self, page_no: int, me: int) -> bool:
         own = sum(1 for p, m in self._held[me] if p == page_no and m == "r")
@@ -133,6 +237,8 @@ class LatchManager:
                 if not any(p == page_no and m == "w" for p, m in held):
                     self._writer[page_no] = None
             self._cond.notify_all()
+        _observe_release(self._key(page_no))
+        schedule_point("latch_release", page=page_no)
 
     def release_all(self) -> None:
         for page_no, _mode in list(self._held[self._me()]):
@@ -158,6 +264,7 @@ class SplitLock:
     """
 
     def __init__(self):
+        self.serial = next(_SERIALS)
         self._lock = threading.Lock()
         self._owner: int | None = None
         reg = get_registry()
@@ -168,7 +275,11 @@ class SplitLock:
     def stats_acquisitions(self) -> int:
         return self._m_acquisitions.value
 
+    def _key(self) -> tuple:
+        return ("split", self.serial)
+
     def acquire(self, latches: LatchManager | None = None) -> None:
+        schedule_point("split_acquire")
         me = threading.get_ident()
         if self._owner == me:
             raise LatchProtocolError("split lock is not reentrant")
@@ -181,20 +292,33 @@ class SplitLock:
         if not self._lock.acquire(blocking=False):
             contended_at = perf_counter()
             self._m_waits.inc()
-            self._lock.acquire()
+            hook = _schedule_hook
+            if hook is not None:
+                # cooperative retry, so the deterministic controller never
+                # loses sight of a thread inside a native lock wait
+                while not self._lock.acquire(blocking=False):
+                    hook.point("split_wait", blocked=True)
+            else:
+                self._lock.acquire()
             get_trace().emit("latch_wait", mode="split",
                              duration=perf_counter() - contended_at)
         self._owner = me
         self._m_acquisitions.inc()
+        _observe_acquire(self._key(), "w")
 
     def release(self) -> None:
         if self._owner != threading.get_ident():
             raise LatchProtocolError("split lock released by non-owner")
         self._owner = None
         self._lock.release()
+        _observe_release(self._key())
+        schedule_point("split_release")
 
     def held(self) -> bool:
         return self._owner is not None
+
+    def held_by_me(self) -> bool:
+        return self._owner == threading.get_ident()
 
     def __enter__(self):
         self.acquire()
@@ -205,32 +329,45 @@ class SplitLock:
         return False
 
 
+#: The sentinel page number ConcurrentTree latches for whole-tree
+#: operations.  Page 0 is every file's meta page, so the latch reads as
+#: "the latch on the tree's root pointer".
+TREE_LATCH_PAGE = 0
+
+
 class ConcurrentTree:
     """Thread-safe facade over a tree.
 
-    Readers proceed under a shared tree latch; writers take the split
-    lock + exclusive latch pair in the paper's order.  The wrapper keeps
-    the tree's own single-threaded code unchanged — the granularity is
-    coarser than the paper's page latching, but the lock *ordering* and
-    conflict rules are the paper's, so protocol tests exercise the real
-    discipline.
+    Readers proceed under a shared latch on :data:`TREE_LATCH_PAGE`;
+    writers take the split lock and then the exclusive latch, in the
+    paper's order.  The wrapper keeps the tree's own single-threaded code
+    unchanged — the granularity is coarser than the paper's page
+    latching, but the lock *ordering* and conflict rules are the paper's,
+    so protocol tests (and the race detector) exercise the real
+    discipline: split lock strictly before the write latch, never while
+    holding it, and every release reachable on every exception edge.
     """
 
     def __init__(self, tree):
         self.tree = tree
         self.latches = LatchManager()
         self.split_lock = SplitLock()
-        self._rw = _ReadWriteLock()
 
     # -- reads -------------------------------------------------------------
 
     def lookup(self, value):
-        with self._rw.read():
+        self.latches.acquire_read(TREE_LATCH_PAGE)
+        try:
             return self.tree.lookup(value)
+        finally:
+            self.latches.release(TREE_LATCH_PAGE)
 
     def range_scan(self, lo=None, hi=None):
-        with self._rw.read():
+        self.latches.acquire_read(TREE_LATCH_PAGE)
+        try:
             return list(self.tree.range_scan(lo, hi))
+        finally:
+            self.latches.release(TREE_LATCH_PAGE)
 
     def __contains__(self, value):
         return self.lookup(value) is not None
@@ -240,70 +377,21 @@ class ConcurrentTree:
     def insert(self, value, tid) -> None:
         self.split_lock.acquire(self.latches)
         try:
-            with self._rw.write():
+            self.latches.acquire_write(TREE_LATCH_PAGE)
+            try:
                 self.tree.insert(value, tid)
+            finally:
+                self.latches.release(TREE_LATCH_PAGE)
         finally:
             self.split_lock.release()
 
     def delete(self, value) -> None:
         self.split_lock.acquire(self.latches)
         try:
-            with self._rw.write():
+            self.latches.acquire_write(TREE_LATCH_PAGE)
+            try:
                 self.tree.delete(value)
+            finally:
+                self.latches.release(TREE_LATCH_PAGE)
         finally:
             self.split_lock.release()
-
-
-class _ReadWriteLock:
-    """Simple writer-preference read/write lock."""
-
-    def __init__(self):
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writer = False
-        self._writers_waiting = 0
-
-    class _Guard:
-        def __init__(self, enter, leave):
-            self._enter, self._leave = enter, leave
-
-        def __enter__(self):
-            self._enter()
-            return self
-
-        def __exit__(self, *exc):
-            self._leave()
-            return False
-
-    def read(self):
-        return self._Guard(self._acquire_read, self._release_read)
-
-    def write(self):
-        return self._Guard(self._acquire_write, self._release_write)
-
-    def _acquire_read(self):
-        with self._cond:
-            while self._writer or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-
-    def _release_read(self):
-        with self._cond:
-            self._readers -= 1
-            if not self._readers:
-                self._cond.notify_all()
-
-    def _acquire_write(self):
-        with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writer or self._readers:
-                    self._cond.wait()
-            finally:
-                self._writers_waiting -= 1
-            self._writer = True
-
-    def _release_write(self):
-        with self._cond:
-            self._writer = False
-            self._cond.notify_all()

@@ -55,6 +55,7 @@ from ..errors import (
 from ..storage import valid_magic
 from ..storage.engine import StorageEngine
 from ..core import items as I
+from ..core.concurrency import schedule_point
 from ..core.detect import Action, DetectionReport, Kind, RepairLog
 from ..core.keys import CODECS, TID, KeyCodec
 from ..core.meta import MetaView
@@ -396,6 +397,7 @@ class ExtendibleHashIndex:
         slot = self._slot_for(hashed, depth)
         bucket, prev = self._dir_read(slot)
         buf = self.file.pin(bucket)
+        schedule_point("pin_child", page=bucket)
         view = NodeView(buf.data, self.page_size)
         if not self._bucket_consistent(buf, view, hashed):
             self._repair_bucket(slot, bucket, buf, view, prev)

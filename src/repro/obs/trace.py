@@ -32,7 +32,7 @@ from typing import Iterator
 #: else, so a typo'd instrumentation site fails loudly in tests.
 EVENT_TYPES: frozenset[str] = frozenset({
     "sync", "crash", "split", "repair", "evict", "latch_wait",
-    "fsck_finding",
+    "fsck_finding", "race_finding",
 })
 
 DEFAULT_CAPACITY = 4096

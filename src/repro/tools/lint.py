@@ -25,7 +25,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.lint",
         description="AST lint for the storage-protocol coding rules "
-                    "(R001-R005).",
+                    "(R001-R009).",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],

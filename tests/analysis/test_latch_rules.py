@@ -1,0 +1,307 @@
+"""Unit tests for the latch-protocol lint rules (R006–R009), including
+the mutation self-test: deleting the split-lock acquisition from the real
+``ConcurrentTree`` source must be caught by R006."""
+
+import re
+import textwrap
+from pathlib import Path
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.rules import all_rules
+from repro.analysis.rules.latches import (
+    BlockingUnderReadLatchRule,
+    LatchReleaseOnExceptionRule,
+    PinBeforeUnlatchRule,
+    SplitLockOrderRule,
+)
+
+CONCURRENCY_SRC = (Path(__file__).resolve().parents[2]
+                   / "src" / "repro" / "core" / "concurrency.py")
+
+
+def run(tmp_path, source, rules, filename="mod.py"):
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], rules)
+
+
+def rule_ids(report):
+    return [v.rule_id for v in report.violations]
+
+
+# ---------------------------------------------------------------------------
+# R006 — split lock strictly before the write latch
+# ---------------------------------------------------------------------------
+
+def test_r006_split_acquire_under_write_latch(tmp_path):
+    report = run(tmp_path, """
+        def bad(self):
+            self.latches.acquire_write(3)
+            try:
+                self.split_lock.acquire()
+                try:
+                    pass
+                finally:
+                    self.split_lock.release()
+            finally:
+                self.latches.release(3)
+        """, [SplitLockOrderRule()])
+    assert rule_ids(report) == ["R006"]
+
+
+def test_r006_split_capable_call_without_split_lock(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, value, tid):
+            self.latches.acquire_write(0)
+            try:
+                self.tree.insert(value, tid)
+            finally:
+                self.latches.release(0)
+        """, [SplitLockOrderRule()])
+    assert rule_ids(report) == ["R006"]
+
+
+def test_r006_transitive_through_local_helper(tmp_path):
+    report = run(tmp_path, """
+        def helper(self):
+            self.split_lock.acquire()
+
+        def bad(self):
+            self.latches.acquire_write(1)
+            try:
+                self.helper()
+            finally:
+                self.latches.release(1)
+        """, [SplitLockOrderRule()])
+    assert rule_ids(report) == ["R006"]
+
+
+def test_r006_correct_order_clean(tmp_path):
+    report = run(tmp_path, """
+        def good(self, value, tid):
+            self.split_lock.acquire(self.latches)
+            try:
+                self.latches.acquire_write(0)
+                try:
+                    self.tree.insert(value, tid)
+                finally:
+                    self.latches.release(0)
+            finally:
+                self.split_lock.release()
+        """, [SplitLockOrderRule()])
+    assert report.ok
+
+
+def test_r006_plain_list_insert_not_flagged(tmp_path):
+    report = run(tmp_path, """
+        def fine(self, items, value):
+            self.latches.acquire_write(0)
+            try:
+                items.insert(0, value)
+            finally:
+                self.latches.release(0)
+        """, [SplitLockOrderRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R007 — pin the child before releasing the parent's latch
+# ---------------------------------------------------------------------------
+
+def test_r007_unlatch_before_pin(tmp_path):
+    report = run(tmp_path, """
+        def descend(self, page):
+            self.latches.acquire_read(page)
+            child = self.child_of(page)
+            self.latches.release(page)
+            return self.file.pin(child)
+        """, [PinBeforeUnlatchRule()])
+    assert rule_ids(report) == ["R007"]
+
+
+def test_r007_pin_then_unlatch_clean(tmp_path):
+    report = run(tmp_path, """
+        def descend(self, page):
+            self.latches.acquire_read(page)
+            try:
+                child = self.child_of(page)
+                buf = self.file.pin(child)
+            finally:
+                self.latches.release(page)
+            return buf
+        """, [PinBeforeUnlatchRule()])
+    assert report.ok
+
+
+def test_r007_ignores_functions_without_latches(tmp_path):
+    report = run(tmp_path, """
+        def leaf_scan(self, page):
+            buf = self.file.pin(page)
+            self.file.unpin(buf)
+        """, [PinBeforeUnlatchRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R008 — no blocking calls under a read latch
+# ---------------------------------------------------------------------------
+
+def test_r008_sync_under_read_latch(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, key):
+            self.latches.acquire_read(1)
+            try:
+                self.engine.sync()
+            finally:
+                self.latches.release(1)
+        """, [BlockingUnderReadLatchRule()])
+    assert rule_ids(report) == ["R008"]
+
+
+def test_r008_read_latch_coupling_flagged(tmp_path):
+    report = run(tmp_path, """
+        def bad(self):
+            self.latches.acquire_read(1)
+            self.latches.acquire_read(2)
+            self.latches.release(2)
+            self.latches.release(1)
+        """, [BlockingUnderReadLatchRule()])
+    assert rule_ids(report) == ["R008"]
+
+
+def test_r008_sync_after_release_clean(tmp_path):
+    report = run(tmp_path, """
+        def good(self, key):
+            self.latches.acquire_read(1)
+            try:
+                value = self.probe(key)
+            finally:
+                self.latches.release(1)
+            self.engine.sync()
+            return value
+        """, [BlockingUnderReadLatchRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R009 — release reachable on every exception edge
+# ---------------------------------------------------------------------------
+
+def test_r009_no_finally(tmp_path):
+    report = run(tmp_path, """
+        def leaky(self, page):
+            self.latches.acquire_write(page)
+            self.mutate(page)
+            self.more(page)
+            self.latches.release(page)
+        """, [LatchReleaseOnExceptionRule()])
+    assert rule_ids(report) == ["R009"]
+
+
+def test_r009_split_lock_without_finally(tmp_path):
+    report = run(tmp_path, """
+        def leaky(self):
+            self.split_lock.acquire()
+            self.do_split()
+            self.unrelated()
+            self.split_lock.release()
+        """, [LatchReleaseOnExceptionRule()])
+    assert rule_ids(report) == ["R009"]
+
+
+def test_r009_try_finally_clean(tmp_path):
+    report = run(tmp_path, """
+        def good(self, page):
+            self.latches.acquire_write(page)
+            try:
+                self.mutate(page)
+            finally:
+                self.latches.release(page)
+        """, [LatchReleaseOnExceptionRule()])
+    assert report.ok
+
+
+def test_r009_immediate_release_clean(tmp_path):
+    report = run(tmp_path, """
+        def touch(self, page):
+            self.latches.acquire_read(page)
+            self.latches.release(page)
+        """, [LatchReleaseOnExceptionRule()])
+    assert report.ok
+
+
+def test_r009_with_statement_clean(tmp_path):
+    report = run(tmp_path, """
+        def good(self):
+            with self.split_lock:
+                self.do_split()
+        """, [LatchReleaseOnExceptionRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# pragmas and registry
+# ---------------------------------------------------------------------------
+
+def test_latch_rules_registered():
+    ids = [rule.rule_id for rule in all_rules()]
+    assert ["R006", "R007", "R008", "R009"] == ids[-4:]
+
+
+def test_pragma_suppresses_latch_rule(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, page):
+            self.latches.acquire_write(page)  # lint: disable=R009
+            self.mutate(page)
+            self.more(page)
+            self.latches.release(page)
+        """, [LatchReleaseOnExceptionRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# mutation self-tests against the real source
+# ---------------------------------------------------------------------------
+
+def test_real_concurrency_module_is_clean():
+    report = lint_paths([CONCURRENCY_SRC], all_rules())
+    assert report.ok, report.render_text()
+
+
+def test_r006_catches_deleted_split_lock_acquisition(tmp_path):
+    """The mutation self-test: strip ``split_lock.acquire`` from the real
+    ConcurrentTree and the lint must flag every split-capable call that
+    now runs under a bare write latch."""
+    source = CONCURRENCY_SRC.read_text()
+    mutant = re.sub(r"^\s*self\.split_lock\.acquire\(self\.latches\)\n",
+                    "", source, flags=re.M)
+    assert mutant != source, "mutation site moved; update the self-test"
+    path = tmp_path / "concurrency_mutant.py"
+    path.write_text(mutant)
+    report = lint_paths([path], [SplitLockOrderRule()])
+    flagged = [v for v in report.violations if v.rule_id == "R006"]
+    # both ConcurrentTree.insert and ConcurrentTree.delete lose the lock
+    assert len(flagged) >= 2, report.render_text()
+
+
+def test_r009_catches_deleted_finally(tmp_path):
+    """Rewriting ConcurrentTree.lookup's try/finally into straight-line
+    code must trip R009."""
+    source = CONCURRENCY_SRC.read_text()
+    mutant = source.replace(
+        """        self.latches.acquire_read(TREE_LATCH_PAGE)
+        try:
+            return self.tree.lookup(value)
+        finally:
+            self.latches.release(TREE_LATCH_PAGE)""",
+        """        self.latches.acquire_read(TREE_LATCH_PAGE)
+        result = self.tree.lookup(value)
+        self.extra_bookkeeping(value)
+        self.latches.release(TREE_LATCH_PAGE)
+        return result""")
+    assert mutant != source, "mutation site moved; update the self-test"
+    path = tmp_path / "concurrency_mutant.py"
+    path.write_text(mutant)
+    report = lint_paths([path], [LatchReleaseOnExceptionRule()])
+    assert "R009" in [v.rule_id for v in report.violations], \
+        report.render_text()

@@ -18,15 +18,19 @@ from repro import TREE_CLASSES, StorageEngine, TID
 def _sanitizer():
     """Run the whole suite under the runtime sanitizer when
     ``REPRO_SANITIZE=1`` — every engine built by any test then checks pin
-    balance, mutated-but-clean frames, and premature backup reclaims."""
+    balance, mutated-but-clean frames, and premature backup reclaims; the
+    race checker watches lock order and the latch protocol's locksets."""
     if os.environ.get("REPRO_SANITIZE") != "1":
         yield
         return
     from repro.analysis import sanitizer
+    from repro.analysis.races import runtime as races_runtime
     sanitizer.install()
+    races_runtime.install()
     try:
         yield
     finally:
+        races_runtime.uninstall()
         sanitizer.uninstall()
 
 SMALL_PAGE = 512

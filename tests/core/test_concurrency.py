@@ -1,6 +1,11 @@
 """Concurrency control: latch protocol, split lock, threaded smoke tests
 (paper Section 3.6)."""
 
+# latch-primitive unit tests: bare acquire/release sequences (no
+# try/finally) and blocking calls under latches are the protocol
+# shapes being tested, not production descent code
+# lint: disable=R008,R009
+
 import threading
 
 import pytest

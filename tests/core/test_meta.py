@@ -1,5 +1,9 @@
 """Index meta page: root shadowing and the freelist snapshot."""
 
+# meta-page unit tests: raw MetaViews over bytearrays with literal
+# tokens — no buffer pool, no SyncState
+# lint: disable=R003,R004
+
 import pytest
 
 from repro.core.meta import MetaView

@@ -1,5 +1,9 @@
 """NodeView: line-table operations, crash-safe orderings, backup region."""
 
+# page-layer unit tests: raw NodeViews over bytearrays with hand-rolled
+# tokens — there is no buffer pool to dirty and no SyncState to consult
+# lint: disable=R003,R004
+
 import pytest
 
 from repro.constants import PAGE_INTERNAL, PAGE_LEAF

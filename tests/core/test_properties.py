@@ -5,6 +5,9 @@ sequences and checks the index always agrees with a plain dict, the scan
 is always sorted, and the structural validator stays green.
 """
 
+# the model checker pokes raw pages to cross-check the validator
+# lint: disable=R003
+
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

@@ -6,6 +6,7 @@ import pytest
 from repro import TID, ReorgBLinkTree, StorageEngine
 from repro.core import items as I
 from repro.core.nodeview import NodeView
+from repro.storage.sync import tokens_match
 from repro.workload import random_permutation
 
 from ..conftest import fill_tree, tid_for
@@ -69,8 +70,9 @@ def test_figure2_structure_after_split(tree):
             assert len(pb_keys) == len(backup_keys) + 1
         finally:
             tree.file.unpin(pbuf)
-        assert pa.sync_token == pb.sync_token \
-            == tree.engine.sync_state.token()
+        assert tokens_match(pa.sync_token, pb.sync_token)
+        assert tokens_match(pa.sync_token,
+                            tree.engine.sync_state.token())
     finally:
         tree.file.unpin(buf)
 
@@ -119,16 +121,14 @@ def test_reclaim_case2_after_sync_is_free(tree):
     split_once(tree)
     tree.engine.sync()
     pa_no = find_backed_up_leaf(tree)
-    buf = tree.file.pin(pa_no)
-    low_key = int.from_bytes(NodeView(buf.data, PAGE).min_key(), "big")
-    tree.file.unpin(buf)
+    with tree.file.pinned(pa_no) as buf:
+        low_key = int.from_bytes(NodeView(buf.data, PAGE).min_key(), "big")
     syncs_before = tree.engine.stats_syncs
     tree.delete(low_key)
     assert tree.stats_sync_stalls == 0
     assert tree.engine.stats_syncs == syncs_before
-    buf = tree.file.pin(pa_no)
-    assert NodeView(buf.data, PAGE).prev_n_keys == 0
-    tree.file.unpin(buf)
+    with tree.file.pinned(pa_no) as buf:
+        assert NodeView(buf.data, PAGE).prev_n_keys == 0
 
 
 def test_descending_split_puts_new_key_in_low_half(engine):

@@ -4,6 +4,7 @@ import pytest
 
 from repro import TID, ShadowBLinkTree, StorageEngine
 from repro.core.nodeview import NodeView
+from repro.storage.sync import tokens_match
 
 from ..conftest import fill_tree, tid_for
 
@@ -108,11 +109,9 @@ def test_old_page_content_untouched_by_split(tree):
     overwritten' — P's durable image still holds every pre-split key."""
     fill_tree(tree, range(100), sync_every=100)
     root_no = tree._root_page()
-    rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
-    slot = rview.n_keys - 1
-    victim = rview.child_at(slot)
-    tree.file.unpin(rbuf)
+    with tree.file.pinned(root_no) as rbuf:
+        rview = NodeView(rbuf.data, PAGE)
+        victim = rview.child_at(rview.n_keys - 1)
     durable_before = tree.file.disk.durable_image(victim)
     keys_before = list(NodeView(bytearray(durable_before), PAGE).keys())
 
@@ -143,7 +142,7 @@ def test_new_pages_carry_current_sync_token(tree):
             cbuf = tree.file.pin(child_no)
             cview = NodeView(cbuf.data, PAGE)
             try:
-                if cview.sync_token == token:
+                if tokens_match(cview.sync_token, token):
                     break
             finally:
                 tree.file.unpin(cbuf)
@@ -170,7 +169,8 @@ def test_root_split_moves_meta_pointer_with_prev(tree):
     try:
         assert meta.root != old_root
         assert meta.prev_root == old_root
-        assert meta.root_token == tree.engine.sync_state.token()
+        assert tokens_match(meta.root_token,
+                            tree.engine.sync_state.token())
     finally:
         tree.file.unpin(mbuf)
 

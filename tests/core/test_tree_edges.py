@@ -111,6 +111,7 @@ def test_route_on_empty_internal_rejected():
     from repro.constants import PAGE_INTERNAL
     from repro.core.nodeview import NodeView
     view = NodeView(bytearray(256), 256)
-    view.init_page(PAGE_INTERNAL, level=1)
+    # raw NodeView over a bytearray — no buffer pool, nothing to dirty
+    view.init_page(PAGE_INTERNAL, level=1)  # lint: disable=R003
     index, found = view.search(b"\x00")
     assert (index, found) == (0, False)

@@ -15,6 +15,7 @@ from repro import (
 from repro.core.detect import Action, Kind
 from repro.core.nodeview import NodeView
 from repro.hash import ExtendibleHashIndex, hash_key
+from repro.storage.sync import tokens_match
 
 PAGE = 512
 
@@ -160,11 +161,10 @@ def test_lost_bucket_rebuilt_from_prev(engine, index):
     token = engine.sync_state.token()
     fresh = []
     for page_no in range(1, index.file.n_pages):
-        buf = index.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
-        if view.page_type == 3 and view.sync_token == token:
-            fresh.append(page_no)
-        index.file.unpin(buf)
+        with index.file.pinned(page_no) as buf:
+            view = NodeView(buf.data, PAGE)
+            if view.page_type == 3 and tokens_match(view.sync_token, token):
+                fresh.append(page_no)
     assert fresh
     # crash keeping everything except one fresh bucket
     keep = {("h", p) for p in range(index.file.n_pages)

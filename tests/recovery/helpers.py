@@ -10,6 +10,7 @@ from repro import (
     TREE_CLASSES,
 )
 from repro.core.nodeview import NodeView
+from repro.storage.sync import tokens_match
 
 PAGE = 512
 
@@ -62,7 +63,7 @@ def find_split(tree) -> dict:
         buf = file.pin(page_no)
         view = NodeView(buf.data, tree.page_size)
         try:
-            if view.sync_token != token or not view.is_leaf:
+            if not tokens_match(view.sync_token, token) or not view.is_leaf:
                 continue
             if view.prev_n_keys:                    # reorg Pa
                 info["pa"] = page_no
@@ -76,7 +77,7 @@ def find_split(tree) -> dict:
         buf = file.pin(info["pa"])
         view = NodeView(buf.data, tree.page_size)
         try:
-            if view.sync_token == token and view.right_peer:
+            if tokens_match(view.sync_token, token) and view.right_peer:
                 info["pb"] = view.right_peer
         finally:
             file.unpin(buf)

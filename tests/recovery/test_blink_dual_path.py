@@ -47,9 +47,8 @@ def build_dual_path(kind: str, seed: int = 13):
         i += 1
     split = find_split(tree)
     pa = split["pa"]
-    buf = tree.file.pin(pa)
-    neighbor = NodeView(buf.data, tree.page_size).left_peer
-    tree.file.unpin(buf)
+    with tree.file.pinned(pa) as buf:
+        neighbor = NodeView(buf.data, tree.page_size).left_peer
     keep = {p for p in (split["parent"], split["pa"], split["pb"],
                         split["old"]) if p}
     keep.discard(neighbor)

@@ -44,11 +44,10 @@ def build_cascade(kind: str, seed: int = 5):
     def level1_count():
         count = 0
         for page_no in range(1, tree.file.n_pages):
-            buf = tree.file.pin(page_no)
-            view = NodeView(buf.data, PAGE)
-            if view.page_type == 2 and view.level == 1:
-                count += 1
-            tree.file.unpin(buf)
+            with tree.file.pinned(page_no) as buf:
+                view = NodeView(buf.data, PAGE)
+                if view.page_type == 2 and view.level == 1:
+                    count += 1
         return count
 
     base = level1_count()

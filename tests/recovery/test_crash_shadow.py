@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.detect import Action, Kind
 from repro.core.nodeview import NodeView
+from repro.storage.sync import tokens_match
 
 from .helpers import build_to_split, crash_keeping, find_split, \
     verify_recovered
@@ -34,7 +35,8 @@ def split_leaves(tree, split):
         buf = tree.file.pin(page_no)
         view = NodeView(buf.data, tree.page_size)
         try:
-            if view.is_leaf and view.sync_token == token and view.n_keys:
+            if view.is_leaf and tokens_match(view.sync_token, token) \
+                    and view.n_keys:
                 fresh.append((view.min_key(), page_no))
         finally:
             tree.file.unpin(buf)
@@ -80,9 +82,8 @@ def test_everything_but_neighbor_durable():
     unaffected; the first scan or insert heals the link."""
     engine, tree, committed, split = scenario()
     leaves = split_leaves(tree, split)
-    buf = tree.file.pin(leaves[0])
-    neighbor = NodeView(buf.data, tree.page_size).left_peer
-    tree.file.unpin(buf)
+    with tree.file.pinned(leaves[0]) as buf:
+        neighbor = NodeView(buf.data, tree.page_size).left_peer
     keep = {split["parent"], *leaves}
     keep.discard(neighbor)
     crash_keeping(engine, tree, "ix", keep)

@@ -84,3 +84,80 @@ def test_every_crash_subset_of_root_split(kind):
         with pytest.raises(CrashError):
             engine.sync(CrashOnNthSync(1, keep=list(subset)))
         verify_recovered(kind, engine, committed, inserts=12)
+
+
+# ---------------------------------------------------------------------------
+# the same sweep over the extendible hash (bucket split, directory doubling)
+# ---------------------------------------------------------------------------
+
+#: committed-key counts placing the first post-commit event: 64 puts a
+#: directory-doubling split in flight; 65 a pure bucket split (the
+#: doubling at key 64 lands inside the committed, synced prefix)
+HASH_COMMITTED = {"split": 65, "double": 64}
+
+
+def build_hash_scenario(*, until: str, seed: int = 21):
+    """Rebuild the hash index to the moment where the next sync commits
+    an in-flight bucket split (``until="split"``) or a directory doubling
+    (``until="double"``)."""
+    from repro.hash.extendible import ExtendibleHashIndex
+
+    committed_keys = HASH_COMMITTED[until]
+    engine = StorageEngine.create(page_size=PAGE, seed=seed)
+    index = ExtendibleHashIndex.create(engine, "hx", codec="uint32")
+    for i in range(committed_keys):
+        index.insert(i, tid_for(i))
+        if (i + 1) % 32 == 0:
+            engine.sync()
+    engine.sync()
+    splits = index.stats_bucket_splits
+    doublings = index.stats_directory_doublings
+    i = committed_keys
+    while index.stats_bucket_splits == splits:
+        index.insert(i, tid_for(i))
+        i += 1
+    doubled = index.stats_directory_doublings > doublings
+    assert doubled == (until == "double"), \
+        "scenario rot: the in-flight split's kind moved; re-probe the " \
+        "committed-key counts"
+    return engine, index
+
+
+def verify_hash_recovered(engine, committed, *, inserts: int = 12) -> None:
+    """The hash recovery contract: reopen, find every committed key,
+    accept new work, and end structurally sound."""
+    from repro.hash.extendible import ExtendibleHashIndex
+
+    engine2 = StorageEngine.reopen_after_crash(engine)
+    index2 = ExtendibleHashIndex.open(engine2, "hx")
+    missing = [k for k in committed if index2.lookup(k) is None]
+    assert not missing, f"committed keys lost: {sorted(missing)[:10]}"
+    for key in range(10_000, 10_000 + inserts):
+        index2.insert(key, tid_for(key))
+    engine2.sync()
+    found = {int.from_bytes(k, "big") for k, _ in index2.check()}
+    assert committed <= found
+    assert set(range(10_000, 10_000 + inserts)) <= found
+
+
+@pytest.mark.parametrize("until", ["split", "double"])
+def test_every_hash_crash_subset_recovers(until):
+    """Every subset of the sync batch that commits an in-flight bucket
+    split / directory doubling must recover — the paper's Section 1 claim
+    that the techniques carry to extensible hash indices, swept the same
+    way as the B-link splits."""
+    probe_engine, _ = build_hash_scenario(until=until)
+    recorder = RecordingPolicy()
+    probe_engine.sync(recorder)
+    batch = recorder.batches[0]
+    assert len(batch) >= 2, f"unexpected batch size {len(batch)}"
+
+    committed = set(range(HASH_COMMITTED[until]))
+    for subset in SubsetEnumerator(batch, max_exhaustive=8,
+                                   sample=120).subsets():
+        if len(subset) == len(batch):
+            continue
+        engine, _ = build_hash_scenario(until=until)
+        with pytest.raises(CrashError):
+            engine.sync(CrashOnNthSync(1, keep=list(subset)))
+        verify_hash_recovered(engine, committed)

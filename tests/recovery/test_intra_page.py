@@ -34,22 +34,21 @@ def build_with_torn_page(kind: str, *, seed: int = 31, step_index=0):
     leaf_no = leaf.page_no
     tree._unpin_path(path)
 
-    buf = tree.file.pin(leaf_no)
-    view = NodeView(buf.data, tree.page_size)
-    if view.prev_n_keys:
-        # a real insert would run the reclamation check first (the split
-        # is long since committed: case 2)
-        view.reclaim_backup()
-    keys_before = [int.from_bytes(k, "big") for k in view.keys()]
-    new_key = keys_before[0] + 1
-    assert new_key not in committed
-    images = []
-    slot, found = view.search(new_key.to_bytes(4, "big"))
-    assert not found
-    view.insert_item(slot, I.pack_leaf_item(new_key.to_bytes(4, "big"),
-                                            TID(9, 9)),
-                     step_hook=lambda _l: images.append(bytes(view.buf)))
-    tree.file.unpin(buf)
+    with tree.file.pinned(leaf_no) as buf:
+        view = NodeView(buf.data, tree.page_size)
+        if view.prev_n_keys:
+            # a real insert would run the reclamation check first (the
+            # split is long since committed: case 2)
+            view.reclaim_backup()
+        keys_before = [int.from_bytes(k, "big") for k in view.keys()]
+        new_key = keys_before[0] + 1
+        assert new_key not in committed
+        images = []
+        slot, found = view.search(new_key.to_bytes(4, "big"))
+        assert not found
+        view.insert_item(slot, I.pack_leaf_item(new_key.to_bytes(4, "big"),
+                                                TID(9, 9)),
+                         step_hook=lambda _l: images.append(bytes(view.buf)))
     torn = images[min(step_index, len(images) - 1)]
     # the torn image reaches stable storage; the process dies
     tree.file.disk.write_page(leaf_no, torn)

@@ -1,5 +1,9 @@
 """Buffer pool: pinning, dirty tracking, remapping, eviction."""
 
+# buffer-layer unit tests: pin/unpin and eviction ARE the subject under
+# test, so the paired-call discipline is exercised deliberately raw
+# lint: disable=R001,R002
+
 import pytest
 
 from repro.errors import BufferError_

@@ -1,5 +1,9 @@
 """Storage engine: files, engine-wide sync, crash/restart, shutdown."""
 
+# engine-layer unit tests: bare pin/dirty sequences and raw token
+# comparisons exercise the primitives the higher-level helpers wrap
+# lint: disable=R001,R002,R004
+
 import pytest
 
 from repro.errors import CrashError, ReproError

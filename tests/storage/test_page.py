@@ -1,5 +1,8 @@
 """Page header codec and raw-page helpers."""
 
+# header-codec unit tests mutate raw buffers with no pool in sight
+# lint: disable=R003
+
 import pytest
 
 from repro.constants import (

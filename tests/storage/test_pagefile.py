@@ -1,6 +1,10 @@
 """Paged files: reservation of page 0, durable extension, pin-aware
 allocation."""
 
+# pagefile-layer unit tests: pin/unpin pairing is the behaviour under
+# test, exercised deliberately without the pinned() wrapper
+# lint: disable=R001,R002
+
 import pytest
 
 from repro.errors import PageError

@@ -4,6 +4,10 @@ Each test takes a healthy synced tree, injects one specific corruption
 through the buffer layer (so buffer and disk agree), and asserts fsck
 classifies it — without mutating the tree."""
 
+# corruption injection writes buffers behind the commit protocol on
+# purpose: that is exactly what fsck must catch
+# lint: disable=R002,R003
+
 import pytest
 
 from repro import TID, TREE_CLASSES, StorageEngine

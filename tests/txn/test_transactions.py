@@ -69,9 +69,8 @@ def test_crash_during_commit_sync_leaves_uncommitted(engine, txns):
     # dirty something so the sync has work to do
     file = engine.create_file("d")
     page = file.allocate()
-    buf = file.pin(page)
-    file.mark_dirty(buf)
-    file.unpin(buf)
+    with file.pinned(page) as buf:
+        file.mark_dirty(buf)
     engine.crash_policy = CrashOnNthSync(1, keep=0)
     with pytest.raises(CrashError):
         txn.commit()
