@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint races test test-sanitized
+.PHONY: check lint races shard test test-sanitized
 
 check:
 	sh scripts/check.sh
@@ -11,6 +11,12 @@ lint:
 
 races:
 	python -m repro.tools.races --seeds 3
+
+shard:
+	python -m pytest -x -q tests/shard \
+		tests/recovery/test_shard_crash_during_recovery.py
+	python -m repro.bench.shardrecovery --smoke --json \
+		> BENCH_shard_recovery.json
 
 test:
 	python -m pytest -x -q

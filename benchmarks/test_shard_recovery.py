@@ -1,0 +1,52 @@
+"""Parallel recovery scaling: the sharded-group restart claim.
+
+Shards share no durable state and no sync-token domain, so N crashed
+shards can drive their first-use repairs concurrently; group restart
+time should approach the slowest shard's cost rather than the sum.
+With simulated per-page I/O latency (the sleeps release the GIL) the
+4-shard parallel restart must beat the serial baseline.
+"""
+
+import pytest
+
+from repro.bench.shardrecovery import (
+    _set_latency,
+    _snapshot,
+    build_crashed_group,
+    measure_mode,
+)
+
+KEYS = 600
+PAGE = 512
+READ_LATENCY = 0.001
+
+
+@pytest.fixture(scope="module")
+def crashed_group():
+    group = build_crashed_group(4, total_keys=KEYS, page_size=PAGE,
+                                seed=5)
+    _set_latency(group, READ_LATENCY, READ_LATENCY / 2)
+    return group, _snapshot(group)
+
+
+def test_parallel_beats_serial_at_four_shards(crashed_group):
+    group, snaps = crashed_group
+    serial = measure_mode(group, snaps, mode="serial", workers=1,
+                          committed=KEYS, reps=2)
+    parallel = measure_mode(group, snaps, mode="parallel", workers=4,
+                            committed=KEYS, reps=2)
+    # measure_mode raises if any committed key is lost
+    assert serial.keys_verified == parallel.keys_verified == KEYS
+    assert parallel.seconds < serial.seconds, (
+        f"parallel {parallel.seconds:.4f}s not faster than "
+        f"serial {serial.seconds:.4f}s at 4 shards")
+
+
+def test_parallel_restart_benchmark(crashed_group, benchmark):
+    group, snaps = crashed_group
+    result = benchmark.pedantic(
+        lambda: measure_mode(group, snaps, mode="parallel", workers=4,
+                             committed=KEYS, reps=1),
+        rounds=2, iterations=1)
+    assert result.keys_verified == KEYS
+    assert result.repairs >= 0

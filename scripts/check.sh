@@ -48,6 +48,22 @@ assert doc['ok'], doc
 print(f\"{doc['total_runs']} scenario runs, 0 findings\")
 "
 
+echo "==> shard subsystem tests (tests/shard + crash-during-recovery)"
+python -m pytest -x -q tests/shard \
+    tests/recovery/test_shard_crash_during_recovery.py
+
+echo "==> recovery-scaling bench smoke (python -m repro.bench.shardrecovery)"
+python -m repro.bench.shardrecovery --smoke --json \
+    > BENCH_shard_recovery.json
+python -c "
+import json
+doc = json.load(open('BENCH_shard_recovery.json'))
+assert doc['parallel_beats_serial_at_4'], doc['results']
+four = [p for p in doc['results'] if p['n_shards'] == 4][0]
+print(f\"4-shard parallel recovery speedup {four['speedup']:.2f}x \"
+      f\"over serial ({four['parallel']['keys_verified']} keys verified)\")
+"
+
 echo "==> tier-1 suite under the runtime sanitizer (REPRO_SANITIZE=1)"
 REPRO_SANITIZE=1 python -m pytest -x -q
 

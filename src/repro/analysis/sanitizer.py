@@ -54,8 +54,11 @@ class SanitizerError(AssertionError):
     """
 
 
-#: Engines created while the sanitizer is installed; the reclaim check
-#: needs a SyncState and finds it here when exactly one engine is live.
+#: Engines created while the sanitizer is installed.  The disk-level
+#: backup-clear check resolves the owning engine's SyncState by disk
+#: membership (several engines — a shard group — may be live at once);
+#: the reclaim-time check, which only sees a NodeView, still requires a
+#: single live engine to arm.
 _ENGINES: WeakSet = WeakSet()
 
 # page files used by a VERIFIES tree — only these are held to the
@@ -338,7 +341,7 @@ class SanitizedDisk(SimulatedDisk):
         sibling = old_header.new_page
         if sibling == INVALID_PAGE:
             return
-        state = _single_live_state()
+        state = _state_for_disk(self)
         if state is None or state.predates_last_crash(old_header.sync_token):
             # a backup stamped before the last crash is resolved by the
             # first-use repair, which may rewrite the page any way it
@@ -363,6 +366,20 @@ def _single_live_state():
     if len(live) == 1:
         return live[0].sync_state
     return None
+
+
+def _state_for_disk(disk):
+    """The SyncState owning *disk* — resolved by disk membership, so the
+    backup-clear ordering check stays armed when several engines are live
+    at once (a shard group is exactly that).  Falls back to the
+    single-live-engine rule when no live owner holds this disk."""
+    for engine in _ENGINES:
+        if engine.dead:
+            continue
+        disks = getattr(engine, "_disks", None)
+        if disks is not None and any(d is disk for d in disks.values()):
+            return engine.sync_state
+    return _single_live_state()
 
 
 def _checked_reclaim_backup(view) -> None:

@@ -1,0 +1,260 @@
+"""Recovery scaling: serial vs parallel restart of a crashed shard group.
+
+The paper's claim is that restart is fast because no log is processed —
+the index heals itself on first use.  Sharding turns that into a scaling
+claim: the group's shards share no state and no sync-token arithmetic,
+so N crashed shards can drive their first-use repairs concurrently and
+group restart time should approach the *largest shard's* cost, not the
+*sum* of all shards'.
+
+The bench fixes the total committed key count, crashes every shard of an
+N-shard group mid-sync, then measures a full recovery (reopen + drive
+repairs + verify sync) twice from identical disk snapshots: once through
+the orchestrator with ``max_workers=1`` (serial baseline) and once with
+one worker per shard.  Simulated per-page I/O latency is dialed up for
+the measured phase only — the sleeps release the GIL, so parallel
+recovery overlaps exactly the way real disks would and the serial run
+pays the sum.
+
+Usage::
+
+    python -m repro.bench.shardrecovery                 # full campaign
+    python -m repro.bench.shardrecovery --smoke --json  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..core.keys import TID
+from ..errors import CrashError
+from ..shard import RecoveryOrchestrator, ShardedEngine
+from ..storage import RandomSubsetCrash
+
+INDEX = "ix"
+
+
+@dataclass
+class ModeResult:
+    """One recovery mode (serial or parallel) at one shard count."""
+
+    mode: str
+    workers: int
+    seconds: float                       # best-of-reps wall time
+    reps_seconds: list[float] = field(default_factory=list)
+    shard_restart_seconds: list[float] = field(default_factory=list)
+    shard_drive_seconds: list[float] = field(default_factory=list)
+    repairs: int = 0
+    keys_verified: int = 0
+
+
+@dataclass
+class ScalePoint:
+    n_shards: int
+    committed_keys: int
+    serial: ModeResult | None = None
+    parallel: ModeResult | None = None
+
+    @property
+    def speedup(self) -> float:
+        if not self.serial or not self.parallel or \
+                not self.parallel.seconds:
+            return 0.0
+        return self.serial.seconds / self.parallel.seconds
+
+
+def build_crashed_group(n_shards: int, *, total_keys: int,
+                        page_size: int = 512, seed: int = 0,
+                        uncommitted: int | None = None) -> ShardedEngine:
+    """Load *total_keys* committed keys into an N-shard group, then
+    crash every shard mid-sync with an uncommitted batch in flight."""
+    group = ShardedEngine.create(n_shards, page_size=page_size, seed=seed)
+    tree = group.create_tree("shadow", INDEX, codec="uint32")
+    for i in range(total_keys):
+        tree.insert(i, TID(1 + (i >> 8), i & 0xFF))
+        if (i + 1) % 100 == 0:
+            group.sync_all()
+    group.sync_all()
+
+    if uncommitted is None:
+        uncommitted = max(total_keys // 8, 8 * n_shards)
+    for index in range(n_shards):
+        group.shard(index).crash_policy = RandomSubsetCrash(
+            p=1.0, seed=seed * 13 + index)
+    for j in range(uncommitted):
+        try:
+            tree.insert(total_keys + j, TID(7, j % 100))
+        except CrashError:
+            continue    # that shard is down; keep dirtying the others
+    for index in list(group.live_shards()):
+        try:
+            group.shard(index).sync()
+        except CrashError:
+            pass
+    assert not group.live_shards(), "every shard should have crashed"
+    return group
+
+
+def _snapshot(group: ShardedEngine) -> list[dict]:
+    return [{name: disk.snapshot()
+             for name, disk in engine._disks.items()}
+            for engine in group.shards]
+
+
+def _restore(group: ShardedEngine, snaps: list[dict]) -> None:
+    for engine, snap in zip(group.shards, snaps):
+        for name, disk in engine._disks.items():
+            disk.restore(snap[name])
+
+
+def _set_latency(group: ShardedEngine, read_latency: float,
+                 write_latency: float) -> None:
+    for engine in group.shards:
+        engine.read_latency = read_latency
+        engine.write_latency = write_latency
+        for disk in engine._disks.values():
+            disk.read_latency = read_latency
+            disk.write_latency = write_latency
+
+
+def measure_mode(group: ShardedEngine, snaps: list[dict], *, mode: str,
+                 workers: int, committed: int, reps: int) -> ModeResult:
+    """Recover the same crashed snapshot *reps* times; keep the best."""
+    out = ModeResult(mode=mode, workers=workers, seconds=0.0)
+    for _rep in range(reps):
+        _restore(group, snaps)
+        orchestrator = RecoveryOrchestrator(max_workers=workers)
+        start = time.perf_counter()
+        recovered, report = orchestrator.recover(group, INDEX)
+        wall = time.perf_counter() - start
+        if not report.ok:  # pragma: no cover - guard
+            raise SystemExit(f"{mode} recovery failed: "
+                             f"{report.failed_shards()}")
+        out.reps_seconds.append(wall)
+        if len(out.reps_seconds) == 1 or wall < out.seconds:
+            out.seconds = wall
+            out.shard_restart_seconds = [
+                r.restart_seconds for r in report.shards]
+            out.shard_drive_seconds = [
+                r.drive_seconds for r in report.shards]
+            out.repairs = report.total_repairs
+        # correctness: every committed key must be scannable afterwards
+        tree = recovered.open_tree(INDEX)
+        seen = {k for k, _ in tree.range_scan()}
+        missing = [k for k in range(committed) if k not in seen]
+        if missing:  # pragma: no cover - guard
+            raise SystemExit(f"{mode} recovery lost committed keys "
+                             f"{missing[:5]}")
+        out.keys_verified = committed
+    return out
+
+
+def run_scaling(shard_counts, *, total_keys: int, page_size: int,
+                seed: int, read_latency: float, write_latency: float,
+                reps: int, verbose: bool = True) -> list[ScalePoint]:
+    points = []
+    for n in shard_counts:
+        group = build_crashed_group(n, total_keys=total_keys,
+                                    page_size=page_size, seed=seed)
+        _set_latency(group, read_latency, write_latency)
+        snaps = _snapshot(group)
+        point = ScalePoint(n_shards=n, committed_keys=total_keys)
+        point.serial = measure_mode(group, snaps, mode="serial",
+                                    workers=1, committed=total_keys,
+                                    reps=reps)
+        point.parallel = measure_mode(group, snaps, mode="parallel",
+                                      workers=n, committed=total_keys,
+                                      reps=reps)
+        points.append(point)
+        if verbose:
+            print(f"{n:>2} shard(s): serial {point.serial.seconds:8.4f}s  "
+                  f"parallel {point.parallel.seconds:8.4f}s  "
+                  f"speedup {point.speedup:5.2f}x",
+                  file=sys.stderr)
+    return points
+
+
+def to_document(points: list[ScalePoint], config: dict) -> dict:
+    beats_at_4 = [p.speedup > 1.0 for p in points if p.n_shards >= 4]
+    return {
+        "bench": "shard_recovery_scaling",
+        "config": config,
+        "results": [
+            {
+                "n_shards": p.n_shards,
+                "committed_keys": p.committed_keys,
+                "speedup": p.speedup,
+                "serial": asdict(p.serial) if p.serial else None,
+                "parallel": asdict(p.parallel) if p.parallel else None,
+            }
+            for p in points
+        ],
+        "parallel_beats_serial_at_4": bool(beats_at_4) and all(beats_at_4),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.shardrecovery", description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer keys, shard counts "
+                             "1,2,4, lower simulated latency)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document on stdout (progress "
+                             "goes to stderr)")
+    parser.add_argument("--shards", default=None,
+                        help="comma-separated shard counts "
+                             "(default: 1,2,4,8; smoke: 1,2,4)")
+    parser.add_argument("--keys", type=int, default=None,
+                        help="total committed keys, fixed across shard "
+                             "counts (default: 4000; smoke: 600)")
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=5)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per mode, best kept "
+                             "(default: 3; smoke: 2)")
+    parser.add_argument("--read-latency", type=float, default=None,
+                        help="simulated seconds per page read during the "
+                             "measured phase (default: 0.002; smoke: "
+                             "0.001)")
+    parser.add_argument("--write-latency", type=float, default=None,
+                        help="simulated seconds per page write "
+                             "(default: half the read latency)")
+    args = parser.parse_args(argv)
+
+    shard_counts = [int(s) for s in
+                    (args.shards or ("1,2,4" if args.smoke
+                                     else "1,2,4,8")).split(",")]
+    total_keys = args.keys or (600 if args.smoke else 4000)
+    reps = args.reps or (2 if args.smoke else 3)
+    read_latency = (args.read_latency if args.read_latency is not None
+                    else (0.001 if args.smoke else 0.002))
+    write_latency = (args.write_latency if args.write_latency is not None
+                     else read_latency / 2)
+
+    config = {
+        "smoke": args.smoke, "shard_counts": shard_counts,
+        "total_keys": total_keys, "page_size": args.page_size,
+        "seed": args.seed, "reps": reps,
+        "read_latency": read_latency, "write_latency": write_latency,
+    }
+    points = run_scaling(shard_counts, total_keys=total_keys,
+                         page_size=args.page_size, seed=args.seed,
+                         read_latency=read_latency,
+                         write_latency=write_latency, reps=reps)
+    doc = to_document(points, config)
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"\nparallel beats serial at >=4 shards: "
+              f"{doc['parallel_beats_serial_at_4']}")
+    return 0 if doc["parallel_beats_serial_at_4"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,6 +44,38 @@ TREE_CLASSES = {
                 HybridBLinkTree)
 }
 
+
+def open_tree(engine, name: str) -> BLinkTree:
+    """Open an existing index by *name*, dispatching on the tree kind its
+    meta page records.
+
+    This is the handle-routing primitive the shard subsystem and the fsck
+    CLI are built on: neither knows (nor should have to carry) the tree
+    kind of every file in an engine, because the meta page already does.
+    Raises :class:`~repro.errors.TreeError` for files that are not B-link
+    trees (extendible hash, R-tree and heap files stamp kind ``none``).
+    """
+    from ..errors import TreeError
+
+    file = engine.open_file(name)
+    mbuf = file.pin_meta()
+    try:
+        meta = MetaView(mbuf.data, file.page_size)
+        meta.check()
+        try:
+            kind = meta.tree_kind
+        except KeyError:
+            raise TreeError(
+                f"file {name!r}: unrecognized tree-kind byte on the meta "
+                "page") from None
+    finally:
+        file.unpin(mbuf)
+    cls = TREE_CLASSES.get(kind)
+    if cls is None:
+        raise TreeError(
+            f"file {name!r} is not a B-link tree (meta kind {kind!r})")
+    return cls.open(engine, name)
+
 __all__ = [
     "Action",
     "BACKUP_RECORD_SIZE",
@@ -69,6 +101,7 @@ __all__ = [
     "TREE_CLASSES",
     "UInt32Codec",
     "make_unique",
+    "open_tree",
     "pack_internal_item",
     "pack_leaf_item",
     "split_unique",

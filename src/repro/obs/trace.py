@@ -33,6 +33,10 @@ from typing import Iterator
 EVENT_TYPES: frozenset[str] = frozenset({
     "sync", "crash", "split", "repair", "evict", "latch_wait",
     "fsck_finding", "race_finding",
+    # sharded engine group (repro.shard): a scheduler-triggered group
+    # sync window, one shard's crash inside the group, and the completion
+    # (or failure) of one shard's recovery under the orchestrator
+    "group_sync", "shard_crash", "shard_recovery",
 })
 
 DEFAULT_CAPACITY = 4096

@@ -1,0 +1,109 @@
+"""Group-sync scheduling: when does each shard of a group sync?
+
+A single engine syncs when its caller commits.  A group of N engines
+must not — N lock-step syncs per commit would serialize the group on its
+slowest shard and multiply the crash windows.  The scheduler implements
+the two triggers the group actually needs:
+
+* **dirty-frame pressure** (:meth:`GroupSyncScheduler.note_op`): after
+  every operation the owning worker polls its shard's dirty-frame count;
+  crossing the threshold syncs *that shard only*.  Pressure syncs are
+  independent per shard — one shard splitting like mad syncs often, an
+  idle sibling not at all.
+* **group barrier** (:meth:`GroupSyncScheduler.sync_group`): a commit
+  point for the logical index.  Every live shard with dirty frames syncs;
+  shards that crash doing so are recorded and *skipped*, never allowed to
+  abort their siblings' syncs.  One barrier = one **group sync window**:
+  the window ordinal is the group-level analogue of the paper's sync
+  counter, and the crash-window bookkeeping (which shards crashed inside
+  which window) is what the recovery tests sweep over.
+
+Each shard's own :class:`~repro.storage.sync.SyncState` stays the sole
+authority on its tokens — the scheduler never touches counters, it only
+decides *when* ``engine.sync()`` runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..errors import CrashError
+from ..obs import COUNT_BUCKETS, get_registry, get_trace
+from .engine import ShardedEngine
+
+#: Default dirty-frame count at which a shard is synced by pressure.
+DEFAULT_DIRTY_THRESHOLD = 48
+
+
+class GroupSyncScheduler:
+    """Pressure- and barrier-triggered sync driver for a shard group."""
+
+    def __init__(self, group: ShardedEngine, *,
+                 dirty_threshold: int = DEFAULT_DIRTY_THRESHOLD):
+        self.group = group
+        self.dirty_threshold = dirty_threshold
+        #: barrier ordinal: how many group sync windows have closed
+        self.window = 0
+        #: shard index -> window ordinal it last crashed in
+        self.crash_windows: dict[int, int] = {}
+        self._lock = threading.Lock()
+        reg = get_registry()
+        self._m_pressure = reg.counter("shard.sync.triggered",
+                                       reason="pressure")
+        self._m_barrier = reg.counter("shard.sync.triggered",
+                                      reason="barrier")
+        self._m_windows = reg.counter("shard.group.windows")
+        self._m_crashes = reg.counter("shard.group.crashes_in_window")
+        self._h_dirty = reg.histogram("shard.sync.dirty_frames",
+                                      bounds=COUNT_BUCKETS)
+
+    # -- pressure path (called by the owning worker thread) ----------------
+
+    def note_op(self, shard_index: int) -> bool:
+        """Poll one shard's pressure after an operation; sync if over the
+        threshold.  Returns True when a sync ran.  Must only be called by
+        the thread that owns *shard_index* — the whole point of the
+        shard-per-worker discipline is that engine internals are never
+        shared, so the scheduler takes no lock here.
+        """
+        engine = self.group.shard(shard_index)
+        if engine.dead:
+            return False
+        dirty = engine.dirty_page_count()
+        if dirty < self.dirty_threshold:
+            return False
+        self._h_dirty.observe(dirty)
+        self._m_pressure.inc()
+        self.group.sync_shard(shard_index)  # CrashError propagates: the
+        return True                         # owner must learn its shard died
+
+    # -- barrier path ------------------------------------------------------
+
+    def sync_group(self) -> list[int]:
+        """Close one group sync window: sync every live shard that has
+        dirty frames; record and isolate crashes.  Returns the shards
+        that crashed inside this window."""
+        with self._lock:
+            self.window += 1
+            window = self.window
+        self._m_windows.inc()
+        synced: list[int] = []
+        crashed: list[int] = []
+        for index in self.group.live_shards():
+            engine = self.group.shard(index)
+            dirty = engine.dirty_page_count()
+            if dirty == 0 and not engine.sync_state.split_since_sync:
+                continue
+            self._h_dirty.observe(dirty)
+            self._m_barrier.inc()
+            try:
+                self.group.sync_shard(index)
+                synced.append(index)
+            except CrashError:
+                crashed.append(index)
+                self._m_crashes.inc()
+                with self._lock:
+                    self.crash_windows[index] = window
+        get_trace().emit("group_sync", window=window, synced=synced,
+                         crashed=crashed)
+        return crashed

@@ -1,0 +1,198 @@
+"""Per-shard worker pool: batched operations, one owner thread per shard.
+
+The concurrency model is deliberately boring: shard *i*'s engine, trees,
+buffer pools and freelists are touched by exactly one thread — the shard's
+worker — so none of the single-engine machinery needs latching and the
+latch-protocol invariants hold per shard by construction.  Parallelism
+comes from shards being independent, not from threads sharing a tree.
+
+A batch is a list of ``("insert", value, tid)`` / ``("lookup", value)`` /
+``("delete", value)`` tuples in client order.  The pool partitions it by
+the routed shard of each value (preserving per-shard arrival order, which
+is all a hash-partitioned store can promise), runs the partitions
+concurrently, and reassembles results into the original order.
+
+Failure semantics mirror the group's: a shard that crashes mid-batch
+stops executing *its* remaining operations (each reported as an error)
+while sibling shards run their partitions to completion.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from ..errors import CrashError, ReproError
+from ..obs import get_registry
+from ..storage.engine import EngineDeadError
+from .engine import ShardedTree
+from .scheduler import GroupSyncScheduler
+
+_OPS = ("insert", "lookup", "delete")
+
+
+@dataclass
+class OpResult:
+    """Outcome of one batched operation."""
+
+    index: int                  # position in the submitted batch
+    shard: int
+    op: str
+    value: object
+    result: object = None       # lookup's TID (or None)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class BatchReport:
+    """Everything one :meth:`ShardWorkerPool.run_batch` call did."""
+
+    results: list[OpResult]
+    crashed_shards: list[int]
+    per_shard_ops: list[int]
+    seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.crashed_shards and all(r.ok for r in self.results)
+
+    def errors(self) -> list[OpResult]:
+        return [r for r in self.results if not r.ok]
+
+
+class ShardWorkerPool:
+    """N worker threads, each owning one shard of a :class:`ShardedTree`.
+
+    Use as a context manager (or call :meth:`close`); workers are
+    long-lived so consecutive batches reuse warm threads.
+    """
+
+    def __init__(self, tree: ShardedTree, *,
+                 scheduler: GroupSyncScheduler | None = None):
+        self.tree = tree
+        self.scheduler = scheduler
+        self._n = len(tree.trees)
+        self._queues: list[queue.Queue] = [queue.Queue()
+                                           for _ in range(self._n)]
+        self._threads: list[threading.Thread] = []
+        self._closed = False
+        for i in range(self._n):
+            thread = threading.Thread(target=self._worker_loop, args=(i,),
+                                      name=f"shard-worker-{i}", daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        reg = get_registry()
+        self._m_batches = reg.counter("shard.worker.batches")
+        self._m_ops = reg.counter("shard.worker.ops")
+        self._m_op_errors = reg.counter("shard.worker.op_errors")
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def __enter__(self) -> "ShardWorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for q in self._queues:
+            q.put(None)
+        for thread in self._threads:
+            thread.join(timeout=30)
+
+    # -- batch execution ---------------------------------------------------
+
+    def run_batch(self, ops) -> BatchReport:
+        """Execute *ops* across the shards; block until every partition
+        finished (or died)."""
+        if self._closed:
+            raise ReproError("worker pool is closed")
+        started = perf_counter()
+        partitions: list[list[tuple[int, tuple]]] = [[] for _ in
+                                                     range(self._n)]
+        results: list[OpResult | None] = [None] * len(ops)
+        for index, op in enumerate(ops):
+            if not op or op[0] not in _OPS:
+                raise ReproError(f"bad batch op at {index}: {op!r}")
+            partitions[self.tree.shard_of(op[1])].append((index, op))
+
+        done = [threading.Event() for _ in range(self._n)]
+        crashed: list[int] = []
+        crashed_lock = threading.Lock()
+        for shard_index in range(self._n):
+            self._queues[shard_index].put(
+                (partitions[shard_index], results, done[shard_index],
+                 crashed, crashed_lock))
+        for event in done:
+            event.wait()
+
+        self._m_batches.inc()
+        self._m_ops.inc(len(ops))
+        report = BatchReport(
+            results=[r for r in results if r is not None],
+            crashed_shards=sorted(crashed),
+            per_shard_ops=[len(p) for p in partitions],
+            seconds=perf_counter() - started,
+        )
+        self._m_op_errors.inc(len(report.errors()))
+        return report
+
+    # -- the worker --------------------------------------------------------
+
+    def _worker_loop(self, shard_index: int) -> None:
+        q = self._queues[shard_index]
+        while True:
+            item = q.get()
+            if item is None:
+                return
+            partition, results, done, crashed, crashed_lock = item
+            try:
+                self._run_partition(shard_index, partition, results,
+                                    crashed, crashed_lock)
+            finally:
+                done.set()
+
+    def _run_partition(self, shard_index: int, partition, results,
+                       crashed, crashed_lock) -> None:
+        tree = self.tree.trees[shard_index]
+        dead_reason: str | None = None
+        if tree is None or self.tree.group.shard(shard_index).dead:
+            dead_reason = f"shard {shard_index} is dead (unrecovered)"
+        for index, op in partition:
+            name, value = op[0], op[1]
+            entry = OpResult(index=index, shard=shard_index, op=name,
+                             value=value)
+            results[index] = entry
+            if dead_reason is not None:
+                entry.error = dead_reason
+                continue
+            try:
+                if name == "insert":
+                    tree.insert(value, op[2])
+                elif name == "lookup":
+                    entry.result = tree.lookup(value)
+                else:
+                    tree.delete(value)
+                if self.scheduler is not None:
+                    self.scheduler.note_op(shard_index)
+            except CrashError as exc:
+                entry.error = f"shard crashed: {exc}"
+                dead_reason = f"shard {shard_index} crashed mid-batch"
+                with crashed_lock:
+                    crashed.append(shard_index)
+            except EngineDeadError as exc:
+                entry.error = str(exc)
+                dead_reason = entry.error
+            except ReproError as exc:
+                # per-op failure (duplicate key, missing key): the shard
+                # is fine, keep going
+                entry.error = f"{type(exc).__name__}: {exc}"

@@ -169,6 +169,12 @@ class BufferPool:
         """True while a :meth:`note_volatile` declaration stands."""
         return page_no in self._volatile
 
+    def dirty_frame_count(self) -> int:
+        """Number of dirty frames, without copying page images.  This is
+        the per-file "sync pressure" reading the group-sync scheduler
+        polls after every operation, so it must stay allocation-free."""
+        return sum(1 for buf in self._frames.values() if buf.dirty)
+
     def dirty_batch(self) -> dict[int, bytes]:
         """Snapshot of every dirty frame, as the batch for a sync."""
         return {

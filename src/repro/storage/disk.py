@@ -21,6 +21,7 @@ crash subset.
 from __future__ import annotations
 
 import random
+import time
 from typing import Callable, Mapping, Sequence
 
 from ..errors import CrashError, PageError
@@ -58,16 +59,28 @@ class SimulatedDisk:
         Optional ``list -> None`` in-place reorder hook applied to each sync
         batch before the crash policy sees it, modelling OS-chosen write
         order.  Defaults to a seeded shuffle.
+    read_latency / write_latency:
+        Simulated per-page I/O service time in seconds (default 0: the
+        historical instantaneous disk).  When nonzero, every page read or
+        write blocks for that long **releasing the GIL**, which is what
+        lets the shard recovery orchestrator genuinely overlap the I/O of
+        independent shards the way real hardware would.  Both are plain
+        public attributes so benchmarks can dial latency up for the
+        measured phase only (e.g. recovery) without rebuilding the disk.
     """
 
     def __init__(self, name: str, page_size: int, *,
                  shuffle: Callable[[list], None] | None = None,
-                 seed: int = 0):
+                 seed: int = 0,
+                 read_latency: float = 0.0,
+                 write_latency: float = 0.0):
         self.name = name
         self.page_size = validate_page_size(page_size)
         self._pages: dict[int, bytes] = {}
         self._n_pages = 0
         self.stats = DiskStats()
+        self.read_latency = read_latency
+        self.write_latency = write_latency
         if shuffle is None:
             rng = random.Random(seed)
             shuffle = rng.shuffle
@@ -86,6 +99,8 @@ class SimulatedDisk:
         """Read one page; unwritten pages read back as zeroes."""
         if page_no < 0:
             raise PageError(f"negative page number {page_no}")
+        if self.read_latency:
+            time.sleep(self.read_latency)
         self.stats.reads += 1
         data = self._pages.get(page_no)
         if data is None:
@@ -109,6 +124,8 @@ class SimulatedDisk:
                 f"write of {len(data)} bytes to page {page_no}; "
                 f"page size is {self.page_size}"
             )
+        if self.write_latency:
+            time.sleep(self.write_latency)
         self._pages[page_no] = bytes(data)
         self._n_pages = max(self._n_pages, page_no + 1)
         self.stats.writes += 1

@@ -49,20 +49,28 @@ class StorageEngine:
 
     Create a fresh database with :meth:`create`; simulate a reboot after a
     crash with :meth:`reopen_after_crash`; simulate a clean stop/start with
-    :meth:`shutdown` + :meth:`reopen_after_crash` (which detects the clean
-    record and keeps the counter).
+    :meth:`shutdown` + :meth:`reopen` (which detects the clean record and
+    keeps the counter).  :meth:`reopen` handles both records;
+    :meth:`reopen_after_crash` insists its input actually crashed.
     """
 
     def __init__(self, *, page_size: int = DEFAULT_PAGE_SIZE, seed: int = 0,
                  disks: dict[str, SimulatedDisk] | None = None,
                  counter_batch: int = SYNC_COUNTER_BATCH,
-                 pool_capacity: int | None = None):
+                 pool_capacity: int | None = None,
+                 read_latency: float = 0.0,
+                 write_latency: float = 0.0):
         self.page_size = page_size
         self.pool_capacity = pool_capacity
         self._rng = random.Random(seed)
         self._seed = seed
         self._counter_batch = counter_batch
+        self.read_latency = read_latency
+        self.write_latency = write_latency
         self.dead = False
+        #: True once :meth:`shutdown` completed; distinguishes a clean stop
+        #: from a crash for :meth:`reopen_after_crash`'s rejection check
+        self.clean_shutdown = False
         self.crash_policy: CrashPolicy = NO_CRASH
         #: callbacks invoked after every successful sync (trees hook these
         #: to observe sync completion; tests hook them to count syncs)
@@ -87,7 +95,9 @@ class StorageEngine:
         control_disk = self._disks.get(_CONTROL_FILE)
         if control_disk is None:
             control_disk = SimulatedDisk(_CONTROL_FILE, page_size,
-                                         seed=self._rng.randrange(1 << 30))
+                                         seed=self._rng.randrange(1 << 30),
+                                         read_latency=read_latency,
+                                         write_latency=write_latency)
             self._disks[_CONTROL_FILE] = control_disk
             self.sync_state = SyncState.fresh(self._persist_max_counter,
                                               batch=counter_batch)
@@ -116,23 +126,49 @@ class StorageEngine:
     @classmethod
     def create(cls, *, page_size: int = DEFAULT_PAGE_SIZE, seed: int = 0,
                counter_batch: int = SYNC_COUNTER_BATCH,
-               pool_capacity: int | None = None) -> "StorageEngine":
+               pool_capacity: int | None = None,
+               read_latency: float = 0.0,
+               write_latency: float = 0.0) -> "StorageEngine":
         return cls(page_size=page_size, seed=seed,
-                   counter_batch=counter_batch, pool_capacity=pool_capacity)
+                   counter_batch=counter_batch, pool_capacity=pool_capacity,
+                   read_latency=read_latency, write_latency=write_latency)
 
     @classmethod
-    def reopen_after_crash(cls, dead_engine: "StorageEngine", *,
-                           seed: int | None = None) -> "StorageEngine":
+    def reopen(cls, dead_engine: "StorageEngine", *,
+               seed: int | None = None) -> "StorageEngine":
         """Boot a fresh engine over the durable state of *dead_engine*.
 
-        Works equally for a crashed and a cleanly shut down engine; the
-        control page distinguishes the two.
+        The general restart entry point: works equally for a crashed and a
+        cleanly shut down engine; the control page distinguishes the two
+        (a clean record keeps the counter, a crash record re-seeds it from
+        the persisted maximum).
         """
         return cls(page_size=dead_engine.page_size,
                    seed=dead_engine._seed + 1 if seed is None else seed,
                    disks=dead_engine._disks,
                    counter_batch=dead_engine._counter_batch,
-                   pool_capacity=dead_engine.pool_capacity)
+                   pool_capacity=dead_engine.pool_capacity,
+                   read_latency=dead_engine.read_latency,
+                   write_latency=dead_engine.write_latency)
+
+    @classmethod
+    def reopen_after_crash(cls, dead_engine: "StorageEngine", *,
+                           seed: int | None = None) -> "StorageEngine":
+        """Boot a fresh engine over the durable state of a *crashed*
+        engine.
+
+        Rejects an engine that was shut down cleanly: crash recovery on a
+        clean store silently discards the preserved counter state and
+        re-seeds the last-crash token, which would make every pre-shutdown
+        split look interrupted.  Use :meth:`reopen` for the general
+        restart path that handles both records.
+        """
+        if dead_engine.clean_shutdown:
+            raise ReproError(
+                "engine was shut down cleanly, not crashed; use "
+                "StorageEngine.reopen for a clean restart"
+            )
+        return cls.reopen(dead_engine, seed=seed)
 
     # -- files ---------------------------------------------------------------
 
@@ -142,7 +178,9 @@ class StorageEngine:
             raise ReproError(f"file {name!r} already exists")
         if name not in self._disks:
             self._disks[name] = SimulatedDisk(
-                name, self.page_size, seed=self._rng.randrange(1 << 30))
+                name, self.page_size, seed=self._rng.randrange(1 << 30),
+                read_latency=self.read_latency,
+                write_latency=self.write_latency)
         file = PageFile(name, self._disks[name],
                         pool_capacity=self.pool_capacity)
         self._files[name] = file
@@ -162,6 +200,15 @@ class StorageEngine:
 
     def file_names(self) -> list[str]:
         return [n for n in self._disks if n != _CONTROL_FILE]
+
+    def open_files(self) -> list[PageFile]:
+        """The files opened (or created) so far in this incarnation."""
+        return list(self._files.values())
+
+    def dirty_page_count(self) -> int:
+        """Total dirty frames across every open file — the engine-wide
+        sync-pressure reading the group-sync scheduler polls."""
+        return sum(f.pool.dirty_frame_count() for f in self._files.values())
 
     # -- sync -------------------------------------------------------------------
 
@@ -228,11 +275,22 @@ class StorageEngine:
 
     def shutdown(self) -> None:
         """Clean shutdown: sync everything, persist the counter state, mark
-        the control page clean, and kill the engine."""
-        self._check_alive()
+        the control page clean, and kill the engine.
+
+        Idempotent: a second call on an already cleanly shut down engine
+        is a no-op (operators retry shutdown paths; the second attempt
+        must not be reported as a crash).  A *crashed* engine still raises
+        — there is nothing left to flush and pretending otherwise would
+        stamp a clean record over a crash.
+        """
+        if self.dead:
+            if self.clean_shutdown:
+                return
+            self._check_alive()
         self.sync()
         self._write_control(clean=True)
         self.dead = True
+        self.clean_shutdown = True
 
     def _recover_sync_state(self, control_disk: SimulatedDisk) -> SyncState:
         raw = control_disk.read_page(0)

@@ -1,7 +1,9 @@
 """Operational tools: the offline index verifier and the stats dumper."""
 
-from .fsck import FsckReport, fsck_tree
+from .fsck import (EngineFsckReport, FsckReport, GroupFsckReport,
+                   fsck_engine, fsck_group, fsck_tree)
 from .stats import collect, render_report, run_demo_workload
 
-__all__ = ["FsckReport", "fsck_tree", "collect", "render_report",
-           "run_demo_workload"]
+__all__ = ["EngineFsckReport", "FsckReport", "GroupFsckReport",
+           "fsck_engine", "fsck_group", "fsck_tree", "collect",
+           "render_report", "run_demo_workload"]

@@ -8,13 +8,23 @@ detectors would check on first use, and reports what a first-use pass
 
 Usage (library)::
 
-    from repro.tools.fsck import fsck_tree
-    report = fsck_tree(tree)
+    from repro.tools.fsck import fsck_tree, fsck_engine, fsck_group
+    report = fsck_tree(tree)          # one index file
+    report = fsck_engine(engine)      # every index file in one engine
+    report = fsck_group(group)        # every shard of a sharded group
     print(report.render())
 
-Usage (CLI demo, builds a tree, crashes it, then fscks)::
+Usage (CLI — disks are in-memory, so the tool builds a scenario,
+crashes it, and verifies what survived)::
 
-    python -m repro.tools.fsck
+    python -m repro.tools.fsck                   # one engine, two files
+    python -m repro.tools.fsck --shards 4        # a 4-shard group
+    python -m repro.tools.fsck --no-crash        # clean build, no damage
+    python -m repro.tools.fsck --json
+
+Exit status is 0 when no error-severity findings were recorded
+(info/warn findings — repairable damage — do not fail the check) and
+2 otherwise.
 """
 
 from __future__ import annotations
@@ -230,38 +240,274 @@ def _check_chain(tree, report: FsckReport, leaves: list[int]) -> None:
                    f"unreached={missing[:4]}; first-insert check heals)")
 
 
-def main() -> None:  # pragma: no cover - demo entry point
-    from repro import (CrashError, RandomSubsetCrash, ShadowBLinkTree,
-                       StorageEngine, TID)
-    engine = StorageEngine.create(page_size=512, seed=11)
-    tree = ShadowBLinkTree.create(engine, "demo", codec="uint32")
-    for i in range(300):
+# ----------------------------------------------------------------------
+# engine- and group-wide verification
+# ----------------------------------------------------------------------
+
+@dataclass
+class EngineFsckReport:
+    """fsck of every index file one engine holds."""
+
+    files: dict = field(default_factory=dict)    # name -> FsckReport
+    skipped: dict = field(default_factory=dict)  # name -> reason
+
+    @property
+    def errors(self) -> int:
+        return sum(r.errors for r in self.files.values())
+
+    @property
+    def warnings(self) -> int:
+        return sum(r.warnings for r in self.files.values())
+
+    @property
+    def keys(self) -> int:
+        return sum(r.keys for r in self.files.values())
+
+    def render(self) -> str:
+        lines = []
+        for name, report in sorted(self.files.items()):
+            lines.append(f"file {name!r}:")
+            lines.extend("  " + line
+                         for line in report.render().splitlines())
+        for name, reason in sorted(self.skipped.items()):
+            lines.append(f"file {name!r}: skipped ({reason})")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "keys": self.keys,
+            "files": {
+                name: {
+                    "errors": r.errors,
+                    "warnings": r.warnings,
+                    "keys": r.keys,
+                    "pages_scanned": r.pages_scanned,
+                    "orphans": len(r.orphans),
+                    "findings": [str(f) for f in r.findings],
+                }
+                for name, r in self.files.items()
+            },
+            "skipped": dict(self.skipped),
+        }
+
+
+def fsck_engine(engine, *, check_peers: bool = True) -> EngineFsckReport:
+    """Verify every index file an engine holds (read-only).
+
+    Files whose meta page names a non-tree kind (heap files stamp
+    ``"none"``) or that cannot be opened are recorded as skipped rather
+    than failing the whole pass.
+    """
+    from ..core import open_tree
+    from ..errors import TreeError
+
+    out = EngineFsckReport()
+    for name in engine.file_names():
+        try:
+            tree = open_tree(engine, name)
+        except TreeError as exc:
+            out.skipped[name] = str(exc)
+            continue
+        except ReproError as exc:
+            out.files[name] = report = FsckReport()
+            report.add("error", 0, f"cannot open: {exc}")
+            continue
+        out.files[name] = fsck_tree(tree, check_peers=check_peers)
+    return out
+
+
+@dataclass
+class GroupFsckReport:
+    """fsck of every shard of a sharded engine group."""
+
+    shards: dict = field(default_factory=dict)  # index -> EngineFsckReport
+    dead: list = field(default_factory=list)    # unrecovered shard indexes
+
+    @property
+    def errors(self) -> int:
+        return sum(r.errors for r in self.shards.values())
+
+    @property
+    def warnings(self) -> int:
+        return sum(r.warnings for r in self.shards.values())
+
+    @property
+    def keys(self) -> int:
+        return sum(r.keys for r in self.shards.values())
+
+    def render(self) -> str:
+        lines = [f"group: {len(self.shards)} shard(s) checked, "
+                 f"{len(self.dead)} dead, {self.errors} error(s), "
+                 f"{self.warnings} warning(s), {self.keys} key(s)"]
+        for index in self.dead:
+            lines.append(f"shard {index}: DEAD (crashed, unrecovered — "
+                         "run the recovery orchestrator)")
+        for index, report in sorted(self.shards.items()):
+            lines.append(f"shard {index}:")
+            lines.extend("  " + line
+                         for line in report.render().splitlines())
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "keys": self.keys,
+            "dead": list(self.dead),
+            "shards": {str(i): r.to_dict()
+                       for i, r in self.shards.items()},
+        }
+
+
+def fsck_group(group, *, check_peers: bool = True) -> GroupFsckReport:
+    """Verify every live shard of a group; dead shards are listed, not
+    scanned (their buffer pools are gone until recovery reopens them)."""
+    out = GroupFsckReport()
+    for index, engine in enumerate(group.shards):
+        if engine.dead:
+            out.dead.append(index)
+            continue
+        out.shards[index] = fsck_engine(engine, check_peers=check_peers)
+    return out
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def _build_single(kind: str, keys: int, page_size: int, seed: int,
+                  crash: bool):
+    """One engine, two index files; optionally crash mid-load."""
+    from ..core import TREE_CLASSES
+    from ..core.keys import TID
+    from ..errors import CrashError
+    from ..storage import RandomSubsetCrash, StorageEngine
+
+    engine = StorageEngine.create(page_size=page_size, seed=seed)
+    tree = TREE_CLASSES[kind].create(engine, "demo", codec="uint32")
+    side = TREE_CLASSES[kind].create(engine, "demo2", codec="uint32")
+    for i in range(keys):
         tree.insert(i, TID(1, i % 100))
-        if i % 25 == 24:
+        if i % 3 == 0:
+            side.insert(i, TID(2, i % 100))
+        if (i + 1) % 25 == 0:
             try:
                 engine.sync()
             except CrashError:
                 break
-        if i == 200:
-            engine.crash_policy = RandomSubsetCrash(p=1.0, seed=3)
-    engine2 = StorageEngine.reopen_after_crash(engine)
-    tree2 = ShadowBLinkTree.open(engine2, "demo")
-    print("fsck of a freshly crashed index (read-only):\n")
-    print(fsck_tree(tree2).render())
-    print("\nafter first-use repairs (lookups, a full scan, an insert "
-          "per region):")
-    for i in range(300):
-        tree2.lookup(i)
-    list(tree2.range_scan())
-    for i in range(0, 300, 16):
+        if crash and i == int(keys * 0.66):
+            engine.crash_policy = RandomSubsetCrash(p=1.0, seed=seed + 3)
+    if crash and not engine.dead:
         try:
-            tree2.delete(i)
-            tree2.insert(i, TID(1, i % 100))
-        except ReproError:
+            engine.sync(RandomSubsetCrash(p=1.0, seed=seed + 3))
+        except CrashError:
             pass
-    engine2.sync()
-    print(fsck_tree(tree2).render())
+    if engine.dead:
+        # restart and drive the first-use repairs, so error-severity
+        # findings below mean unrepaired damage, not just a fresh crash
+        from ..core import open_tree
+        engine = StorageEngine.reopen_after_crash(engine)
+        for name in engine.file_names():
+            recovered = open_tree(engine, name)
+            for i in range(keys):
+                recovered.lookup(i)
+            list(recovered.range_scan())
+        engine.sync()
+    return engine
+
+
+def _build_group(kind: str, n_shards: int, keys: int, page_size: int,
+                 seed: int, crash: bool):
+    """A shard group; optionally crash half the shards, then recover
+    them through the orchestrator before verifying."""
+    from ..core.keys import TID
+    from ..errors import CrashError
+    from ..shard import RecoveryOrchestrator, ShardedEngine
+    from ..storage import RandomSubsetCrash
+    from ..storage.engine import EngineDeadError
+
+    group = ShardedEngine.create(n_shards, page_size=page_size, seed=seed)
+    tree = group.create_tree(kind, "demo", codec="uint32")
+    for i in range(keys):
+        tree.insert(i, TID(1, i % 100))
+        if (i + 1) % 64 == 0:
+            group.sync_all()
+    group.sync_all()
+    if crash:
+        for index in range(0, n_shards, 2):
+            victim = group.shard(index)
+            victim.crash_policy = RandomSubsetCrash(p=1.0, seed=seed + index)
+            extra = keys + index * 97
+            for j in range(64):
+                try:
+                    tree.insert(extra + j, TID(3, j))
+                except CrashError:
+                    break
+                except EngineDeadError:
+                    continue  # routed to an already-crashed sibling
+            if not victim.dead:
+                try:
+                    victim.sync()
+                except CrashError:
+                    pass
+        orchestrator = RecoveryOrchestrator()
+        group, _report = orchestrator.recover(group, "demo")
+    return group
+
+
+def main(argv=None) -> int:
+    import argparse
+    import json
+    import sys
+
+    from ..core import TREE_CLASSES
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.fsck",
+        description="Build a crash scenario (disks are in-memory) and "
+                    "verify every file of the engine — or every shard "
+                    "of a sharded group — read-only.")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="verify an N-shard group instead of a "
+                             "single engine (default: 1)")
+    parser.add_argument("--kind", default="shadow",
+                        choices=sorted(TREE_CLASSES),
+                        help="tree kind to build (default: shadow)")
+    parser.add_argument("--keys", type=int, default=300,
+                        help="keys to load before crashing (default: 300)")
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--no-crash", action="store_true",
+                        help="skip the crash: verify a cleanly built "
+                             "index (expect zero findings)")
+    parser.add_argument("--no-peers", action="store_true",
+                        help="skip the peer-chain walk")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document instead of text")
+    args = parser.parse_args(argv)
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+
+    check_peers = not args.no_peers
+    if args.shards == 1:
+        engine = _build_single(args.kind, args.keys, args.page_size,
+                               args.seed, crash=not args.no_crash)
+        report = fsck_engine(engine, check_peers=check_peers)
+    else:
+        group = _build_group(args.kind, args.shards, args.keys,
+                             args.page_size, args.seed,
+                             crash=not args.no_crash)
+        report = fsck_group(group, check_peers=check_peers)
+
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(report.render())
+    return 0 if report.errors == 0 else 2
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    raise SystemExit(main())

@@ -8,6 +8,8 @@ from .generators import (
     random_permutation,
     skewed,
     uniform_lookups,
+    zipfian,
+    zipfian_keys,
 )
 from .report import (
     WISCONSIN_AM_FRACTION,
@@ -15,13 +17,22 @@ from .report import (
     normalized_cell,
     wisconsin_context,
 )
-from .runner import RunResult, Series, build_tree, repeat, run_lookups
+from .runner import (
+    RunResult,
+    Series,
+    build_sharded_tree,
+    build_tree,
+    repeat,
+    run_lookups,
+    run_sharded_lookups,
+)
 
 __all__ = [
     "RunResult",
     "Series",
     "WISCONSIN_AM_FRACTION",
     "ascending",
+    "build_sharded_tree",
     "build_tree",
     "descending",
     "duplicate_values",
@@ -31,7 +42,10 @@ __all__ = [
     "random_permutation",
     "repeat",
     "run_lookups",
+    "run_sharded_lookups",
     "skewed",
     "uniform_lookups",
     "wisconsin_context",
+    "zipfian",
+    "zipfian_keys",
 ]

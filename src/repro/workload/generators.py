@@ -9,6 +9,8 @@ duplicate-heavy) feed the extension benchmarks and property tests.
 
 from __future__ import annotations
 
+import bisect
+import itertools
 import random
 from typing import Iterator, Sequence
 
@@ -61,6 +63,69 @@ def skewed(n: int, *, hot_fraction: float = 0.1,
         if key not in seen:
             seen.add(key)
             out.append(key)
+    return out
+
+
+def _zipf_cdf(key_range: int, theta: float) -> list[float]:
+    """Cumulative Zipf(theta) weights over ranks 1..key_range."""
+    total = 0.0
+    cdf = []
+    for rank in range(1, key_range + 1):
+        total += 1.0 / rank ** theta
+        cdf.append(total)
+    return cdf
+
+
+def zipfian(n_draws: int, key_range: int, *, theta: float = 0.99,
+            seed: int = 0) -> list[int]:
+    """*n_draws* keys from a Zipf(theta) distribution over
+    ``[0, key_range)`` — the YCSB-style skew (theta 0.99 by default;
+    0 degenerates to uniform).
+
+    Rank *r* maps to key ``(r * 2654435761) % key_range`` rather than to
+    ``r`` itself, so the hottest keys are scattered across the key
+    *space*: skew stresses whatever sits below (a shard router, a buffer
+    pool) without the accident of also clustering at the left edge of the
+    index.  Draws repeat — this models lookup/update traffic, not unique
+    loads (see :func:`zipfian_keys` for those).
+    """
+    if key_range < 1:
+        raise ValueError(f"key_range must be >= 1, got {key_range}")
+    cdf = _zipf_cdf(key_range, theta)
+    total = cdf[-1]
+    rng = random.Random(seed)
+    out = []
+    for _ in range(n_draws):
+        rank = bisect.bisect_left(cdf, rng.random() * total)
+        out.append((rank * 2654435761) % key_range)
+    return out
+
+
+def zipfian_keys(n: int, *, theta: float = 0.99,
+                 key_range: int | None = None, seed: int = 0) -> list[int]:
+    """*n* **distinct** keys drawn in Zipfian order — an insert load
+    whose arrival order is skewed (hot region first, long tail later)
+    while every key is still unique."""
+    if key_range is None:
+        key_range = max(n * 4, 16)
+    if key_range < n:
+        raise ValueError(f"key_range {key_range} cannot supply {n} "
+                         "distinct keys")
+    seen: set[int] = set()
+    out: list[int] = []
+    # draw in growing batches until n distinct keys have arrived; the
+    # itertools.count index keeps each batch's stream deterministic
+    for round_no in itertools.count():
+        draws = zipfian(max(n, 16) * (round_no + 1), key_range,
+                        theta=theta, seed=seed * 31 + round_no)
+        for key in draws:
+            if key not in seen:
+                seen.add(key)
+                out.append(key)
+                if len(out) == n:
+                    return out
+        if len(seen) == key_range:  # pragma: no cover - guarded above
+            break
     return out
 
 

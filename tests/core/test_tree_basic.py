@@ -119,7 +119,7 @@ def test_reopen_after_clean_shutdown(engine, tree_kind):
     engine.shutdown()
 
     from repro import StorageEngine
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     tree2 = cls.open(engine2, "ix")
     assert len(tree2.check()) == 300
     assert tree2.lookup(123) == tid_for(123)

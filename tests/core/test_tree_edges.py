@@ -51,7 +51,7 @@ def test_single_key_tree_survives_restart(engine, tree_kind):
     tree.insert(1, TID(1, 1))
     engine.shutdown()
     from repro import StorageEngine
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     tree2 = cls.open(engine2, "ix")
     assert tree2.lookup(1) == TID(1, 1)
 

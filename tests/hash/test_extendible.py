@@ -93,7 +93,7 @@ def test_reopen_after_clean_shutdown(engine, index):
     for i in range(300):
         index.insert(i, tid_for(i))
     engine.shutdown()
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     index2 = ExtendibleHashIndex.open(engine2, "h")
     assert index2.lookup(123) == tid_for(123)
     assert len(index2.check()) == 300

@@ -30,7 +30,7 @@ def test_freelist_survives_clean_shutdown(kind):
     tree.close_clean()
     engine.shutdown()
 
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     tree2 = TREE_CLASSES[kind].open(engine2, "ix")
     assert len(tree2.file.freelist) > 0
     assert len(tree2.file.freelist) <= free_before
@@ -54,7 +54,7 @@ def test_snapshot_erased_durably_before_reuse(kind):
     tree.close_clean()
     engine.shutdown()
 
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     tree2 = TREE_CLASSES[kind].open(engine2, "ix")
     # the durable snapshot is gone the moment the list is loaded
     raw = tree2.file.disk.read_page(0)

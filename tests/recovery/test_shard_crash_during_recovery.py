@@ -1,0 +1,171 @@
+"""Failure *during* parallel recovery, and an exhaustive crash-subset
+sweep over one group-sync window.
+
+Two properties beyond single-engine recovery:
+
+* a shard that crashes **again while its own recovery is running** must
+  not take the orchestrator down — siblings finish, the failure is
+  reported, and a retry pass heals the victim;
+* for a barrier window in which one shard dies mid-sync, *every* subset
+  of that shard's sync batch must recover under the parallel
+  orchestrator — the group analogue of the single-engine exhaustive
+  sweep in ``test_exhaustive_subsets.py``.
+"""
+
+import pytest
+
+from repro import TID, CrashError
+from repro.shard import (GroupSyncScheduler, RecoveryOrchestrator,
+                         ShardedEngine)
+from repro.storage import (CrashOnNthSync, RandomSubsetCrash,
+                           RecordingPolicy, SubsetEnumerator)
+
+PAGE = 512
+KEYS = 180
+N_SHARDS = 3
+
+
+def tid_for(i):
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+def build_group(seed=19):
+    group = ShardedEngine.create(N_SHARDS, page_size=PAGE, seed=seed)
+    tree = group.create_tree("shadow", "ix", codec="uint32")
+    for k in range(KEYS):
+        tree.insert(k, tid_for(k))
+        if (k + 1) % 60 == 0:
+            group.sync_all()
+    group.sync_all()
+    return group, tree
+
+
+def crash_all(group, tree, seed=29):
+    for index in range(N_SHARDS):
+        group.shard(index).crash_policy = RandomSubsetCrash(
+            p=1.0, seed=seed + index)
+    for j in range(KEYS, KEYS + 60):
+        try:
+            tree.insert(j, tid_for(j))
+        except CrashError:
+            continue
+    for index in list(group.live_shards()):
+        try:
+            group.shard(index).sync()
+        except CrashError:
+            pass
+    assert len(group.crashed_shards()) == N_SHARDS
+
+
+# ---------------------------------------------------------------------------
+# crash while siblings are mid-repair
+# ---------------------------------------------------------------------------
+
+def test_shard_crashing_again_mid_recovery_is_isolated():
+    group, tree = build_group()
+    crash_all(group, tree)
+    victim = 1
+
+    def rearm(index, engine):
+        # the victim's recovery incarnation dies at its verify sync,
+        # i.e. while its siblings are still driving their own repairs
+        if index == victim:
+            engine.crash_policy = CrashOnNthSync(1, keep=0)
+
+    group2, report = RecoveryOrchestrator(on_reopen=rearm).recover(
+        group, "ix")
+    assert not report.ok
+    assert report.failed_shards() == [victim]
+    by_shard = {r.shard: r for r in report.shards}
+    assert "crashed during recovery" in by_shard[victim].error
+    for index in (0, 2):
+        assert by_shard[index].ok, by_shard[index].error
+    # survivors are live; the victim stays dead inside the group
+    assert victim in group2.crashed_shards()
+    assert set(group2.live_shards()) == {0, 2}
+
+    # a retry pass (no rearm this time) heals the victim
+    group3, retry = RecoveryOrchestrator().recover(group2, "ix")
+    assert retry.ok
+    tree3 = group3.open_tree("ix")
+    scanned = {k for k, _ in tree3.range_scan()}
+    missing = [k for k in range(KEYS) if k not in scanned]
+    assert not missing, f"lost committed keys {missing[:10]}"
+    # survivors recovered in pass one are carried through untouched
+    for index in (0, 2):
+        assert group3.shard(index) is group2.shard(index)
+
+
+def test_every_shard_crashing_mid_recovery_still_terminates():
+    group, tree = build_group(seed=37)
+    crash_all(group, tree, seed=43)
+
+    def rearm_all(index, engine):
+        engine.crash_policy = CrashOnNthSync(1, keep=0)
+
+    group2, report = RecoveryOrchestrator(on_reopen=rearm_all).recover(
+        group, "ix")
+    assert not report.ok
+    assert sorted(report.failed_shards()) == list(range(N_SHARDS))
+    group3, retry = RecoveryOrchestrator().recover(group2, "ix")
+    assert retry.ok
+    scanned = {k for k, _ in group3.open_tree("ix").range_scan()}
+    assert set(range(KEYS)) <= scanned
+
+
+# ---------------------------------------------------------------------------
+# exhaustive subset sweep over one group-sync window
+# ---------------------------------------------------------------------------
+
+def build_window_scenario(seed=47):
+    """Deterministically build a group where the next barrier commits an
+    in-flight leaf split on shard 0 (and only there)."""
+    group, tree = build_group(seed=seed)
+    scheduler = GroupSyncScheduler(group, dirty_threshold=10_000)
+    victim_tree = tree.trees[0]
+    splits = victim_tree.stats_splits
+    k = 1_000_000
+    while victim_tree.stats_splits == splits:
+        if tree.shard_of(k) == 0:
+            tree.insert(k, tid_for(k % 4096))
+        k += 1
+    return group, tree, scheduler
+
+
+def test_every_crash_subset_of_a_group_sync_window_recovers():
+    committed = set(range(KEYS))
+
+    # probe: learn the victim's sync batch for this window
+    probe_group, _, probe_sched = build_window_scenario()
+    recorder = RecordingPolicy()
+    probe_group.shard(0).crash_policy = recorder
+    assert probe_sched.sync_group() == []
+    batch = recorder.batches[0]
+    assert len(batch) >= 2, f"unexpected batch size {len(batch)}"
+
+    subsets = list(SubsetEnumerator(batch, max_exhaustive=8,
+                                    sample=100).subsets())
+    for subset in subsets:
+        if len(subset) == len(batch):
+            continue  # that sync simply succeeds
+        group, tree, scheduler = build_window_scenario()
+        group.shard(0).crash_policy = CrashOnNthSync(1,
+                                                     keep=list(subset))
+        crashed = scheduler.sync_group()
+        assert crashed == [0]
+        assert scheduler.crash_windows == {0: scheduler.window}
+        # siblings synced to completion inside the same window
+        assert all(group.dirty_page_counts()[i] == 0
+                   for i in group.live_shards())
+
+        group2, report = RecoveryOrchestrator().recover(group, "ix")
+        assert report.ok, report.shards
+        tree2 = group2.open_tree("ix")
+        scanned = {key for key, _ in tree2.range_scan()}
+        missing = [key for key in committed if key not in scanned]
+        assert not missing, (
+            f"subset {sorted(subset)} lost committed keys "
+            f"{missing[:10]}")
+        # the healed group accepts and persists new work
+        tree2.insert(2_000_000, tid_for(7))
+        assert group2.sync_all() == []

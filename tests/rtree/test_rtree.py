@@ -113,7 +113,7 @@ def test_reopen_after_clean_shutdown(engine, rt):
     for rect, tid in data:
         rt.insert(rect, tid)
     engine.shutdown()
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     rt2 = RTreeIndex.open(engine2, "r")
     assert len(rt2.check()) == 300
     rect, tid = data[5]

@@ -1,0 +1,98 @@
+"""Group-sync scheduling: pressure triggers, barrier windows, crash
+bookkeeping."""
+
+import pytest
+
+from repro import TID, CrashError
+from repro.obs import get_trace
+from repro.shard import GroupSyncScheduler, ShardedEngine
+from repro.storage import CrashOnNthSync, RandomSubsetCrash
+
+PAGE = 512
+
+
+def make(n=4, dirty_threshold=8, seed=5):
+    group = ShardedEngine.create(n, page_size=PAGE, seed=seed)
+    tree = group.create_tree("shadow", "ix", codec="uint32")
+    scheduler = GroupSyncScheduler(group, dirty_threshold=dirty_threshold)
+    return group, tree, scheduler
+
+
+def test_pressure_syncs_only_the_hot_shard():
+    group, tree, scheduler = make(dirty_threshold=6)
+    hot = tree.shard_of(0)
+    # drive keys at the hot shard only
+    routed = [k for k in range(4000) if tree.shard_of(k) == hot]
+    synced = False
+    before = [s.stats_syncs for s in group.shards]
+    for k in routed[:120]:
+        tree.insert(k, TID(1, k % 100))
+        synced = scheduler.note_op(hot) or synced
+    assert synced, "threshold of 6 dirty frames must trip within 120 keys"
+    after = [s.stats_syncs for s in group.shards]
+    assert after[hot] > before[hot]
+    for i in range(len(group)):
+        if i != hot:
+            assert after[i] == before[i], "idle siblings must not sync"
+
+
+def test_note_op_below_threshold_does_nothing():
+    group, tree, scheduler = make(dirty_threshold=10_000)
+    tree.insert(1, TID(1, 1))
+    assert scheduler.note_op(tree.shard_of(1)) is False
+
+
+def test_barrier_skips_clean_shards():
+    group, tree, scheduler = make()
+    group.sync_all()  # flush creation-time dirt so the baseline is clean
+    tree.insert(7, TID(1, 7))
+    dirty_shard = tree.shard_of(7)
+    before = [s.stats_syncs for s in group.shards]
+    crashed = scheduler.sync_group()
+    assert crashed == []
+    after = [s.stats_syncs for s in group.shards]
+    assert after[dirty_shard] == before[dirty_shard] + 1
+    clean = [i for i in range(len(group)) if i != dirty_shard]
+    assert all(after[i] == before[i] for i in clean)
+    assert scheduler.window == 1
+
+
+def test_barrier_isolates_and_records_crashes():
+    group, tree, scheduler = make()
+    for k in range(200):
+        tree.insert(k, TID(1, k % 100))
+    victim = 1
+    group.shard(victim).crash_policy = CrashOnNthSync(1, keep=1)
+    crashed = scheduler.sync_group()
+    assert crashed == [victim]
+    assert scheduler.crash_windows == {victim: 1}
+    # siblings synced to completion inside the same window
+    counts = group.dirty_page_counts()
+    for i in group.live_shards():
+        assert counts[i] == 0
+    # the window closed and the next one opens past it
+    assert scheduler.sync_group() == []
+    assert scheduler.window == 2
+
+
+def test_pressure_crash_propagates_to_owner():
+    group, tree, scheduler = make(dirty_threshold=4)
+    target = tree.shard_of(0)
+    group.shard(target).crash_policy = RandomSubsetCrash(p=1.0, seed=2)
+    routed = [k for k in range(4000) if tree.shard_of(k) == target]
+    with pytest.raises(CrashError):
+        for k in routed[:200]:
+            tree.insert(k, TID(1, k % 100))
+            scheduler.note_op(target)
+    assert group.shard(target).dead
+
+
+def test_group_sync_emits_trace_events():
+    group, tree, scheduler = make()
+    tree.insert(3, TID(1, 3))
+    scheduler.sync_group()
+    events = [e for e in get_trace().events() if e.etype == "group_sync"]
+    assert events, "barrier must emit a group_sync event"
+    detail = events[-1].detail
+    assert detail["window"] == scheduler.window
+    assert detail["crashed"] == []

@@ -1,0 +1,143 @@
+"""Parallel recovery orchestration: correctness, reports, isolation."""
+
+import pytest
+
+from repro import TID, CrashError
+from repro.obs import get_registry, get_trace, metric_key
+from repro.shard import (RecoveryOrchestrator, ShardedEngine,
+                         recover_group)
+from repro.storage import RandomSubsetCrash
+
+PAGE = 512
+KEYS = 240
+
+
+def build_group(n=4, keys=KEYS, seed=17, kind="shadow"):
+    group = ShardedEngine.create(n, page_size=PAGE, seed=seed)
+    tree = group.create_tree(kind, "ix", codec="uint32")
+    for k in range(keys):
+        tree.insert(k, TID(1 + (k >> 8), k & 0xFF))
+        if (k + 1) % 80 == 0:
+            group.sync_all()
+    group.sync_all()
+    return group, tree
+
+
+def crash_shards(group, tree, victims, *, keys=KEYS, seed=23):
+    """Arm the victims, push uncommitted inserts group-wide, then sync
+    each victim so it dies with a random page subset persisted."""
+    for index in victims:
+        group.shard(index).crash_policy = RandomSubsetCrash(
+            p=1.0, seed=seed + index)
+    for j in range(keys, keys + 60):
+        try:
+            tree.insert(j, TID(7, j % 100))
+        except CrashError:
+            continue
+    for index in victims:
+        if not group.shard(index).dead:
+            try:
+                group.shard(index).sync()
+            except CrashError:
+                pass
+    assert sorted(group.crashed_shards()) == sorted(victims)
+
+
+@pytest.mark.parametrize("kind", ["shadow", "reorg", "hybrid"])
+def test_parallel_recovery_restores_every_committed_key(kind):
+    group, tree = build_group(kind=kind)
+    crash_shards(group, tree, [0, 2])
+    group2, report = RecoveryOrchestrator().recover(group, "ix")
+    assert report.ok
+    assert report.max_workers == len(group)
+    tree2 = group2.open_tree("ix")
+    scanned = {k for k, _ in tree2.range_scan()}
+    missing = [k for k in range(KEYS) if k not in scanned]
+    assert not missing, f"lost committed keys {missing[:10]}"
+    # the group accepts new work afterwards
+    tree2.insert(100_000, TID(9, 9))
+    group2.sync_all()
+    group2.shutdown()
+
+
+def test_live_shards_pass_through_untouched():
+    group, tree = build_group()
+    crash_shards(group, tree, [1])
+    survivors = [group.shard(i) for i in (0, 2, 3)]
+    group2, report = RecoveryOrchestrator().recover(group, "ix")
+    for i, engine in zip((0, 2, 3), survivors):
+        assert group2.shard(i) is engine
+    assert group2.shard(1) is not group.shard(1)
+    by_shard = {r.shard: r for r in report.shards}
+    assert by_shard[1].keys_seen > 0
+    for i in (0, 2, 3):
+        assert by_shard[i].ok and by_shard[i].keys_seen == 0
+
+
+def test_serial_and_parallel_recover_identical_state():
+    group, tree = build_group(seed=31)
+    crash_shards(group, tree, [0, 1, 2, 3], seed=41)
+    snaps = [{name: disk.snapshot()
+              for name, disk in engine._disks.items()}
+             for engine in group.shards]
+
+    serial_group, serial_report = RecoveryOrchestrator(
+        max_workers=1).recover(group, "ix")
+    serial_keys = list(serial_group.open_tree("ix").range_scan())
+
+    for engine, snap in zip(group.shards, snaps):
+        for name, disk in engine._disks.items():
+            disk.restore(snap[name])
+    parallel_group, parallel_report = RecoveryOrchestrator().recover(
+        group, "ix")
+    parallel_keys = list(parallel_group.open_tree("ix").range_scan())
+
+    assert serial_report.ok and parallel_report.ok
+    assert serial_keys == parallel_keys
+    assert serial_report.max_workers == 1
+    assert parallel_report.max_workers == 4
+
+
+def test_fsck_first_reports_clean_after_reopen():
+    group, tree = build_group()
+    crash_shards(group, tree, [3])
+    group2, report = RecoveryOrchestrator(fsck_first=True).recover(
+        group, "ix")
+    by_shard = {r.shard: r for r in report.shards}
+    assert by_shard[3].fsck_errors == 0
+    assert by_shard[0].fsck_errors is None  # live shard: fsck not run
+
+
+def test_recover_group_convenience_wrapper():
+    group, tree = build_group()
+    crash_shards(group, tree, [2])
+    group2, report = recover_group(group, "ix", parallel=False)
+    assert report.ok and report.max_workers == 1
+    assert set(group2.live_shards()) == {0, 1, 2, 3}
+
+
+def test_recovery_emits_per_shard_metrics_and_traces():
+    group, tree = build_group()
+    crash_shards(group, tree, [1, 3])
+    before = get_registry().snapshot()["histograms"]
+    RecoveryOrchestrator().recover(group, "ix")
+    hists = get_registry().snapshot()["histograms"]
+    for index in (1, 3):
+        key = metric_key("shard.recovery.seconds",
+                         {"shard": str(index)})
+        grew = hists.get(key, {}).get("count", 0) > \
+            before.get(key, {}).get("count", 0)
+        assert grew, f"no repair-latency sample for shard {index}"
+    events = [e for e in get_trace().events()
+              if e.etype == "shard_recovery"]
+    recovered = {e.detail["shard"] for e in events[-2:]}
+    assert recovered == {1, 3}
+
+
+def test_recovery_of_a_clean_group_is_a_no_op():
+    group, tree = build_group()
+    group2, report = RecoveryOrchestrator().recover(group, "ix")
+    assert report.ok
+    assert all(r.keys_seen == 0 for r in report.shards)
+    assert all(group2.shard(i) is group.shard(i)
+               for i in range(len(group)))

@@ -1,0 +1,62 @@
+"""Routing invariants: stability, coverage, uniformity."""
+
+import pytest
+
+from repro.core.keys import CODECS
+from repro.errors import ReproError
+from repro.shard import ShardRouter
+
+
+def test_routing_is_stable_and_in_range():
+    router = ShardRouter(5)
+    codec = CODECS["uint32"]
+    first = [router.shard_of(codec.encode(k)) for k in range(500)]
+    second = [router.shard_of(codec.encode(k)) for k in range(500)]
+    assert first == second
+    assert all(0 <= s < 5 for s in first)
+
+
+def test_routing_independent_of_instance():
+    codec = CODECS["uint32"]
+    a, b = ShardRouter(8), ShardRouter(8)
+    for k in range(200):
+        key = codec.encode(k)
+        assert a.shard_of(key) == b.shard_of(key)
+
+
+def test_single_shard_routes_everything_to_zero():
+    router = ShardRouter(1)
+    codec = CODECS["uint32"]
+    assert {router.shard_of(codec.encode(k)) for k in range(64)} == {0}
+
+
+def test_partition_preserves_arrival_order_within_shard():
+    router = ShardRouter(4)
+    codec = CODECS["uint32"]
+    keys = [codec.encode(k) for k in range(300)]
+    parts = router.partition(keys)
+    assert sum(len(p) for p in parts) == len(keys)
+    order = {key: i for i, key in enumerate(keys)}
+    for part in parts:
+        positions = [order[key] for key in part]
+        assert positions == sorted(positions)
+
+
+def test_distribution_is_roughly_uniform():
+    """Ascending keys — the paper's worst-case insert order — must not
+    become a hot spot in shard space."""
+    router = ShardRouter(4)
+    codec = CODECS["uint32"]
+    keys = [codec.encode(k) for k in range(4000)]
+    counts = router.distribution(keys)
+    assert sum(counts.values()) == 4000
+    assert router.imbalance(keys) < 1.15
+
+
+def test_imbalance_of_empty_stream_is_neutral():
+    assert ShardRouter(3).imbalance([]) == 1.0
+
+
+def test_rejects_nonpositive_shard_count():
+    with pytest.raises(ReproError):
+        ShardRouter(0)

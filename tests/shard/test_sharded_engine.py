@@ -1,0 +1,161 @@
+"""ShardedEngine / ShardedTree behavior: routing, merging, failure
+isolation, lifecycle."""
+
+import pytest
+
+from repro import TID, CrashError
+from repro.errors import ReproError
+from repro.shard import ShardedEngine
+from repro.storage import RandomSubsetCrash, StorageEngine
+from repro.storage.engine import EngineDeadError
+
+PAGE = 512
+
+
+def make_group(n=4, keys=200, kind="shadow", seed=3):
+    group = ShardedEngine.create(n, page_size=PAGE, seed=seed)
+    tree = group.create_tree(kind, "ix", codec="uint32")
+    for k in range(keys):
+        tree.insert(k, TID(1, k % 100))
+        if (k + 1) % 64 == 0:
+            group.sync_all()
+    group.sync_all()
+    return group, tree
+
+
+def crash_shard(group, index, seed=7):
+    engine = group.shard(index)
+    engine.crash_policy = RandomSubsetCrash(p=1.0, seed=seed)
+    # ensure the sync batch is non-empty so the policy has pages to drop
+    with pytest.raises(CrashError):
+        engine.sync()
+    assert engine.dead and not engine.clean_shutdown
+
+
+def test_group_needs_at_least_one_shard():
+    with pytest.raises(ReproError):
+        ShardedEngine([])
+
+
+def test_shards_have_independent_sync_domains():
+    group, tree = make_group(3, keys=150)
+    counters = [s.sync_state.counter for s in group.shards]
+    group.sync_shard(0)
+    after = [s.sync_state.counter for s in group.shards]
+    assert after[1] == counters[1] and after[2] == counters[2]
+
+
+def test_routed_operations_and_global_scan():
+    group, tree = make_group(4, keys=300)
+    for k in range(300):
+        assert tree.lookup(k) is not None
+    scanned = [k for k, _ in tree.range_scan()]
+    assert scanned == sorted(scanned)
+    assert len(scanned) == 300
+    # bounded scan merges only the requested window (hi exclusive)
+    window = [k for k, _ in tree.range_scan(50, 60)]
+    assert window == list(range(50, 60))
+    tree.delete(123)
+    assert tree.lookup(123) is None
+    assert len(tree.check()) == 299
+    group.shutdown()
+
+
+def test_keys_actually_spread_over_shards():
+    group, tree = make_group(4, keys=400)
+    counts = tree.key_distribution(range(400))
+    assert all(c > 0 for c in counts)
+    assert sum(counts) == 400
+    group.shutdown()
+
+
+def test_crash_isolated_to_one_shard():
+    group, tree = make_group(4, keys=240)
+    victim = 2
+    # dirty every shard so the victim's crash batch is non-empty
+    for k in range(240, 300):
+        tree.insert(k, TID(2, k % 100))
+    crash_shard(group, victim)
+    assert group.crashed_shards() == [victim]
+    assert sorted(group.live_shards() + [victim]) == [0, 1, 2, 3]
+
+    reopened = group.open_tree("ix")
+    dead_hits, served = 0, 0
+    for k in range(240):
+        try:
+            assert reopened.lookup(k) is not None
+            served += 1
+        except EngineDeadError:
+            dead_hits += 1
+    assert dead_hits > 0 and served > 0
+    with pytest.raises(EngineDeadError):
+        list(reopened.range_scan())
+
+
+def test_sync_all_survives_a_crashing_shard():
+    group, tree = make_group(4, keys=200)
+    for k in range(200, 260):
+        tree.insert(k, TID(2, k % 100))
+    group.shard(1).crash_policy = RandomSubsetCrash(p=1.0, seed=9)
+    crashed = group.sync_all()
+    assert crashed == [1]
+    assert set(group.live_shards()) == {0, 2, 3}
+    # the survivors' syncs completed: their dirty counts dropped to zero
+    assert group.dirty_page_counts()[0] == 0
+    assert group.dirty_page_counts()[2] == 0
+
+
+def test_open_tree_requires_a_live_shard():
+    group, tree = make_group(2, keys=100)
+    for k in range(100, 160):
+        tree.insert(k, TID(2, k % 100))
+    for i in range(2):
+        crash_shard(group, i, seed=11 + i)
+    with pytest.raises(EngineDeadError):
+        group.open_tree("ix")
+
+
+def test_group_shutdown_is_idempotent():
+    group, tree = make_group(2, keys=80)
+    tree.close_clean()
+    group.shutdown()
+    group.shutdown()  # second call is a no-op
+    assert all(s.clean_shutdown for s in group.shards)
+
+
+def test_group_shutdown_refuses_crashed_shard():
+    group, tree = make_group(2, keys=80)
+    for k in range(80, 140):
+        tree.insert(k, TID(2, k % 100))
+    crash_shard(group, 0)
+    with pytest.raises(EngineDeadError):
+        group.shutdown()
+
+
+def test_clean_group_reopen_round_trip():
+    group, tree = make_group(3, keys=150)
+    tree.close_clean()
+    group.shutdown()
+    group2 = ShardedEngine.reopen(group)
+    tree2 = group2.open_tree("ix")
+    assert [k for k, _ in tree2.range_scan()] == list(range(150))
+    group2.shutdown()
+
+
+def test_create_tree_kind_round_trips_through_meta():
+    """open_tree dispatches on the durable meta kind, so a reorg group
+    reopens as reorg trees without the caller naming the kind."""
+    group, tree = make_group(2, keys=120, kind="reorg")
+    tree.close_clean()
+    group.shutdown()
+    group2 = ShardedEngine.reopen(group)
+    tree2 = group2.open_tree("ix")
+    assert all(t.KIND == "reorg" for t in tree2.trees)
+    assert sum(1 for _ in tree2.range_scan()) == 120
+    group2.shutdown()
+
+
+def test_per_shard_seeds_differ():
+    group = ShardedEngine.create(4, page_size=PAGE, seed=1)
+    seeds = {s._seed for s in group.shards}
+    assert len(seeds) == 4

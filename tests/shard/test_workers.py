@@ -1,0 +1,120 @@
+"""Worker-pool semantics: order, routing, per-op errors, crash
+isolation."""
+
+import pytest
+
+from repro import TID
+from repro.errors import ReproError
+from repro.shard import GroupSyncScheduler, ShardedEngine, ShardWorkerPool
+from repro.storage import RandomSubsetCrash
+
+PAGE = 512
+
+
+def make(n=4, seed=9):
+    group = ShardedEngine.create(n, page_size=PAGE, seed=seed)
+    tree = group.create_tree("shadow", "ix", codec="uint32")
+    return group, tree
+
+
+def test_batch_results_in_submission_order():
+    group, tree = make()
+    ops = [("insert", k, TID(1, k % 100)) for k in range(100)]
+    with ShardWorkerPool(tree) as pool:
+        report = pool.run_batch(ops)
+    assert report.ok
+    assert [r.index for r in report.results] == list(range(100))
+    assert [r.value for r in report.results] == list(range(100))
+    assert sum(report.per_shard_ops) == 100
+    assert all(r.shard == tree.shard_of(r.value) for r in report.results)
+
+
+def test_mixed_batch_and_lookup_results():
+    group, tree = make()
+    with ShardWorkerPool(tree) as pool:
+        pool.run_batch([("insert", k, TID(1, k % 100))
+                        for k in range(50)])
+        report = pool.run_batch(
+            [("lookup", k) for k in range(60)]
+            + [("delete", 10), ("lookup", 10)])
+    hits = [r for r in report.results if r.op == "lookup" and
+            r.result is not None]
+    # the 50 inserted keys are found (including key 10, looked up before
+    # its delete); 50..59 miss; the post-delete lookup of key 10 runs
+    # after the delete (same shard => same worker, FIFO) and misses
+    assert len(hits) == 50
+    assert report.results[-1].result is None
+
+
+def test_per_op_errors_do_not_stop_the_shard():
+    group, tree = make()
+    with ShardWorkerPool(tree) as pool:
+        pool.run_batch([("insert", 1, TID(1, 1))])
+        report = pool.run_batch([
+            ("insert", 1, TID(1, 1)),     # duplicate
+            ("delete", 999),              # missing
+            ("insert", 2, TID(1, 2)),     # fine
+        ])
+    assert not report.ok
+    assert report.crashed_shards == []
+    errors = report.errors()
+    assert len(errors) == 2
+    assert "DuplicateKeyError" in errors[0].error
+    assert "KeyNotFoundError" in errors[1].error
+    assert tree.lookup(2) is not None
+
+
+def test_malformed_op_rejected():
+    group, tree = make()
+    with ShardWorkerPool(tree) as pool:
+        with pytest.raises(ReproError):
+            pool.run_batch([("upsert", 1, TID(1, 1))])
+
+
+def test_closed_pool_rejects_batches():
+    group, tree = make()
+    pool = ShardWorkerPool(tree)
+    pool.close()
+    pool.close()  # idempotent
+    with pytest.raises(ReproError):
+        pool.run_batch([("lookup", 1)])
+
+
+def test_crash_mid_batch_isolates_one_shard():
+    group, tree = make()
+    scheduler = GroupSyncScheduler(group, dirty_threshold=4)
+    victim = tree.shard_of(0)
+    group.shard(victim).crash_policy = RandomSubsetCrash(p=1.0, seed=3)
+    ops = [("insert", k, TID(1, k % 100)) for k in range(600)]
+    with ShardWorkerPool(tree, scheduler=scheduler) as pool:
+        report = pool.run_batch(ops)
+    assert report.crashed_shards == [victim]
+    assert not report.ok
+    # every op routed to the victim after the crash carries an error;
+    # every sibling op succeeded
+    for r in report.results:
+        if r.shard != victim:
+            assert r.ok, r.error
+    victim_errors = [r for r in report.results
+                     if r.shard == victim and not r.ok]
+    assert victim_errors, "the crash must surface in the results"
+    assert group.shard(victim).dead
+    assert set(group.live_shards()) == \
+        set(range(len(group))) - {victim}
+
+
+def test_batch_to_unrecovered_shard_reports_dead():
+    group, tree = make()
+    scheduler = GroupSyncScheduler(group, dirty_threshold=4)
+    victim = tree.shard_of(0)
+    group.shard(victim).crash_policy = RandomSubsetCrash(p=1.0, seed=3)
+    with ShardWorkerPool(tree, scheduler=scheduler) as pool:
+        pool.run_batch([("insert", k, TID(1, k % 100))
+                        for k in range(600)])
+        # second batch: the victim is dead from the start
+        report = pool.run_batch([("lookup", k) for k in range(40)])
+    for r in report.results:
+        if r.shard == victim:
+            assert not r.ok and "dead" in r.error
+        else:
+            assert r.ok

@@ -97,7 +97,7 @@ def test_clean_shutdown_preserves_counter():
     engine.shutdown()
     assert engine.dead
 
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     assert engine2.sync_state.counter == counter
     # and the clean flag is cleared so a subsequent crash is recognized
     engine3 = StorageEngine.reopen_after_crash(engine2)
@@ -114,7 +114,7 @@ def test_durable_state_shared_across_reopen():
     file.unpin(buf)
     engine.sync()
     engine.shutdown()
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     file2 = engine2.open_file("a")
     buf2 = file2.pin(page_no)
     assert bytes(buf2.data) == bytes([7]) * 256
@@ -170,3 +170,48 @@ def test_crashed_sync_does_not_inflate_completed_count():
         engine.sync(CrashOnceKeepingPages(set()))
     assert engine.stats_syncs == before
     assert engine.stats_crashed_syncs == 1
+
+
+def _dirty_one_page(engine, name="a"):
+    file = engine.open_file(name)
+    buf = file.pin(file.allocate())
+    file.mark_dirty(buf)
+    file.unpin(buf)
+
+
+def test_shutdown_is_idempotent():
+    engine = StorageEngine.create(page_size=256)
+    engine.create_file("a")
+    _dirty_one_page(engine)
+    engine.shutdown()
+    assert engine.dead and engine.clean_shutdown
+    syncs = engine.stats_syncs
+    engine.shutdown()  # operator retry: must be a silent no-op
+    engine.shutdown()
+    assert engine.dead and engine.clean_shutdown
+    assert engine.stats_syncs == syncs, "retries must not sync again"
+
+
+def test_shutdown_of_crashed_engine_raises():
+    engine = StorageEngine.create(page_size=256)
+    engine.create_file("a")
+    _dirty_one_page(engine)
+    engine.crash_policy = CrashOnNthSync(1, keep=0)
+    with pytest.raises(CrashError):
+        engine.sync()
+    # a crash record must never be overwritten by a clean one
+    with pytest.raises(EngineDeadError):
+        engine.shutdown()
+    assert engine.dead and not engine.clean_shutdown
+
+
+def test_reopen_after_crash_rejects_clean_shutdown():
+    engine = StorageEngine.create(page_size=256)
+    engine.create_file("a")
+    engine.shutdown()
+    with pytest.raises(ReproError) as excinfo:
+        StorageEngine.reopen_after_crash(engine)
+    assert "shut down cleanly" in str(excinfo.value)
+    # the general restart path still works on the same engine
+    engine2 = StorageEngine.reopen(engine)
+    assert "a" in engine2.file_names()

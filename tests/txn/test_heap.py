@@ -89,6 +89,6 @@ def test_durability_through_reopen(heap):
     engine.sync()
     engine.shutdown()
     from repro import StorageEngine
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     heap2 = HeapRelation.open(engine2, "h")
     assert heap2.fetch(tid).payload == b"persist-me"

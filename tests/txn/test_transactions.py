@@ -95,7 +95,7 @@ def test_status_survives_restart(engine, txns):
     aborted = txns.begin()
     aborted.abort()
     engine.shutdown()
-    engine2 = StorageEngine.reopen_after_crash(engine)
+    engine2 = StorageEngine.reopen(engine)
     txns2 = TransactionManager(engine2)
     assert txns2.is_committed(committed.xid)
     assert not txns2.is_committed(aborted.xid)

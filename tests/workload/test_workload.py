@@ -114,3 +114,51 @@ def test_wisconsin_context_math():
     text = wisconsin_context(0.047)
     assert "4.7%" in text
     assert f"{0.047 * WISCONSIN_AM_FRACTION * 100:.2f}%" in text
+
+
+# -- zipfian ---------------------------------------------------------------
+
+def test_zipfian_draws_in_range_and_seeded():
+    from repro.workload import zipfian
+    draws = zipfian(2_000, 500, seed=7)
+    assert len(draws) == 2_000
+    assert all(0 <= k < 500 for k in draws)
+    assert draws == zipfian(2_000, 500, seed=7)
+    assert draws != zipfian(2_000, 500, seed=8)
+
+
+def test_zipfian_theta_controls_skew():
+    from collections import Counter
+
+    from repro.workload import zipfian
+    skewed_draws = Counter(zipfian(4_000, 200, theta=0.99, seed=1))
+    flat_draws = Counter(zipfian(4_000, 200, theta=0.0, seed=1))
+    top_skewed = skewed_draws.most_common(1)[0][1]
+    top_flat = flat_draws.most_common(1)[0][1]
+    # theta=0.99 concentrates mass on a hot key; theta=0 is ~uniform
+    assert top_skewed > 3 * top_flat
+    assert len(flat_draws) > len(skewed_draws)
+
+
+def test_zipfian_keys_distinct_and_scattered():
+    from repro.workload import zipfian_keys
+    keys = zipfian_keys(300, seed=5)
+    assert len(keys) == len(set(keys)) == 300
+    # the multiplicative hash scatters hot ranks: the first (hottest)
+    # keys must not be a contiguous run
+    head = sorted(keys[:10])
+    assert head[-1] - head[0] > 10
+
+
+def test_build_sharded_tree_round_trips():
+    from repro.workload import (build_sharded_tree, run_sharded_lookups,
+                                zipfian_keys)
+    keys = zipfian_keys(150, seed=3)
+    result, tree = build_sharded_tree("shadow", keys, n_shards=3,
+                                      page_size=512, batch=64)
+    assert result.extra["n_shards"] == 3
+    assert sum(result.extra["shard_keys"]) == 150
+    probes = keys[:50] + [max(keys) + 1]
+    lookups = run_sharded_lookups(tree, probes, batch=32)
+    assert lookups.extra["hits"] == 50
+    tree.group.shutdown()
