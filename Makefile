@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check lint races shard test test-sanitized
+.PHONY: check hotpath lint races shard test test-sanitized
 
 check:
 	sh scripts/check.sh
@@ -17,6 +17,10 @@ shard:
 		tests/recovery/test_shard_crash_during_recovery.py
 	python -m repro.bench.shardrecovery --smoke --json \
 		> BENCH_shard_recovery.json
+
+hotpath:
+	python -m pytest -x -q tests/fastpath
+	python -m repro.bench.hotpath --smoke --json > BENCH_hotpath.json
 
 test:
 	python -m pytest -x -q

@@ -26,6 +26,11 @@ R008      no blocking call (sync, sleep, join, bare acquire, write-latch
 R009      every latch / split-lock acquisition has a release reachable on
           every exception edge — ``try/finally``, a re-raising handler, or
           release as the immediately following statement
+R010      frame-content mutations invalidate the fastpath decoded-key
+          cache: NodeView key-set mutators drop ``cached_keys``,
+          buffer-pool content events show a ``Buffer.version`` bump, and
+          ``note_insert``/``note_delete`` run after the dirty-marking
+          that bumps the version
 ========  ==================================================================
 """
 
@@ -33,6 +38,7 @@ from __future__ import annotations
 
 from ..lint import Rule
 from .pins import UnbalancedPinRule
+from .cache import StaleCacheInvalidationRule
 from .mutation import DirectDataMutationRule, MissingMarkDirtyRule
 from .tokens import RawTokenComparisonRule
 from .exceptions import SwallowedErrorRule
@@ -54,6 +60,7 @@ __all__ = [
     "PinBeforeUnlatchRule",
     "BlockingUnderReadLatchRule",
     "LatchReleaseOnExceptionRule",
+    "StaleCacheInvalidationRule",
 ]
 
 
@@ -69,4 +76,5 @@ def all_rules() -> list[Rule]:
         PinBeforeUnlatchRule(),
         BlockingUnderReadLatchRule(),
         LatchReleaseOnExceptionRule(),
+        StaleCacheInvalidationRule(),
     ]

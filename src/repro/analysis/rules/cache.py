@@ -1,0 +1,172 @@
+"""R010 — frame-content mutations must invalidate the fastpath caches.
+
+The decoded-key directory (:mod:`repro.fastpath`) is keyed on
+``(page_no, Buffer.version)``: it stays correct only because
+
+* every :class:`NodeView` mutator that changes a page's key set drops the
+  view's attached ``cached_keys`` list, and
+* every buffer-pool event that changes (or rebinds) a frame's content
+  bumps ``Buffer.version``, and
+* incremental maintenance (``note_insert`` / ``note_delete``) runs
+  *after* the dirty-marking that bumps the version, so the restamped
+  entry carries the post-mutation version.
+
+A mutation path that forgets any of those re-serves stale keys: searches
+bisect a list that no longer matches the page bytes — silent wrong
+results, invisible to tests that never interleave the exact mutation
+with a cached read.  R010 makes each leg structurally checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..lint import (
+    FileContext,
+    Rule,
+    Violation,
+    callee_name,
+    iter_functions,
+    walk_function_scope,
+)
+
+#: NodeView methods that change the page's *key set* (not just header
+#: fields) and therefore must drop the attached decoded-key list.
+KEYSET_MUTATOR_DEFS = {
+    "init_page", "insert_item", "delete_item", "replace_items",
+    "restore_backup",
+}
+
+#: Buffer-pool events that change or rebind a frame's content; the scope
+#: must show version evidence (a ``.version`` store, a ``_next_version``
+#: call, or constructing a fresh ``Buffer``, which self-versions).
+VERSION_EVIDENCE_CALLEES = {"_next_version", "Buffer"}
+
+#: Incremental cache-maintenance calls that restamp a directory entry to
+#: ``buf.version`` and therefore must follow the version bump.
+NOTE_CALLEES = {"note_insert", "note_delete"}
+
+#: Calls that bump the version as a side effect (mutate-then-dirty).
+DIRTY_CALLEES = {"mark_dirty", "_dirty"}
+
+
+def _normalized(ctx: FileContext) -> str:
+    return ctx.rel_path.replace("\\", "/")
+
+
+def _assigns_attr(node: ast.AST, attr: str, *,
+                  self_only: bool = False) -> bool:
+    if not isinstance(node, ast.Assign):
+        return False
+    for target in node.targets:
+        if isinstance(target, ast.Attribute) and target.attr == attr:
+            if not self_only:
+                return True
+            if isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                return True
+    return False
+
+
+class StaleCacheInvalidationRule(Rule):
+    rule_id = "R010"
+    summary = "frame mutation without decoded-key cache invalidation"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        path = _normalized(ctx)
+        if path.endswith("core/nodeview.py"):
+            yield from self._check_nodeview(ctx)
+        elif path.endswith("storage/buffer_pool.py"):
+            yield from self._check_buffer_pool(ctx)
+        elif "/core/" in path or "/storage/" in path \
+                or path.startswith(("core/", "storage/")):
+            yield from self._check_note_ordering(ctx)
+
+    # -- leg 1: NodeView key-set mutators drop cached_keys -----------------
+
+    def _check_nodeview(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            if fn.name not in KEYSET_MUTATOR_DEFS:
+                continue
+            drops = any(
+                _assigns_attr(node, "cached_keys", self_only=True)
+                for node in walk_function_scope(fn)
+            )
+            if not drops:
+                yield self.violation(
+                    ctx, fn,
+                    f"{fn.name}() changes the page's key set but never "
+                    "assigns self.cached_keys — a fastpath search over "
+                    "the stale decoded list returns wrong slots",
+                )
+
+    # -- leg 2: buffer-pool content events carry version evidence ----------
+
+    def _check_buffer_pool(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            events: list[tuple[ast.AST, str]] = []
+            evidence = False
+            for node in walk_function_scope(fn):
+                if _assigns_attr(node, "version"):
+                    evidence = True
+                elif isinstance(node, ast.Call) \
+                        and callee_name(node) in VERSION_EVIDENCE_CALLEES:
+                    evidence = True
+                if _assigns_attr(node, "dirty"):
+                    # marking dirty means the content changed (the
+                    # protocol is mutate-then-dirty) unless this is the
+                    # sync-time clean-down (``= False``)
+                    assert isinstance(node, ast.Assign)
+                    if isinstance(node.value, ast.Constant) \
+                            and node.value.value is True:
+                        events.append((node, ".dirty = True"))
+                elif _assigns_attr(node, "page_no"):
+                    assert isinstance(node, ast.Assign)
+                    if not (isinstance(node.value, ast.Constant)
+                            and node.value.value is None):
+                        events.append((node, ".page_no rebind"))
+            if evidence:
+                continue
+            for node, what in events:
+                yield self.violation(
+                    ctx, node,
+                    f"{what} changes/rebinds frame content but this scope "
+                    "shows no version evidence (.version store, "
+                    "_next_version(), or Buffer(...)) — cache entries "
+                    "keyed on the old version would keep matching",
+                )
+
+    # -- leg 3: note_* maintenance runs after the version bump -------------
+
+    def _check_note_ordering(self, ctx: FileContext) -> Iterator[Violation]:
+        for fn in iter_functions(ctx.tree):
+            notes: list[ast.Call] = []
+            first_dirty_line: int | None = None
+            for node in walk_function_scope(fn):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = callee_name(node)
+                if name in NOTE_CALLEES:
+                    notes.append(node)
+                elif name in DIRTY_CALLEES:
+                    line = getattr(node, "lineno", 0)
+                    if first_dirty_line is None or line < first_dirty_line:
+                        first_dirty_line = line
+            for call in notes:
+                if first_dirty_line is None:
+                    yield self.violation(
+                        ctx, call,
+                        f"{callee_name(call)}() restamps a cache entry to "
+                        "buf.version but this scope never marks the "
+                        "buffer dirty — the entry keeps the pre-mutation "
+                        "version and serves stale keys",
+                    )
+                elif getattr(call, "lineno", 0) < first_dirty_line:
+                    yield self.violation(
+                        ctx, call,
+                        f"{callee_name(call)}() runs before the scope's "
+                        "mark_dirty — the restamped entry captures the "
+                        "pre-bump version, so the updated list is "
+                        "discarded by the next version check",
+                    )

@@ -51,6 +51,7 @@ from ..storage import (
     try_read_header,
     valid_magic,
 )
+from ..fastpath import FastPath, fastpath_enabled
 from ..storage.buffer_pool import Buffer
 from ..storage.engine import StorageEngine
 from ..storage.pagefile import PageFile
@@ -119,6 +120,17 @@ class BLinkTree:
         # only be discovered at restart, and restarts build a new tree
         # object
         self._root_cache: int | None = None
+        # hot-path layer (decoded-key directory + leaf finger); None when
+        # disabled.  Fingers die with the tree object, so a crash reopen
+        # (which builds a new tree) flushes them by construction.
+        self._fastpath: FastPath | None = (
+            FastPath(kind=self.KIND, file_name=file.name)
+            if fastpath_enabled() else None)
+        # structure epoch: bumped on root changes and page reclamation;
+        # together with the split counter and the repair-log length it
+        # forms the finger's invalidation stamp (splits and repairs/heals
+        # already maintain those two)
+        self._fp_epoch = 0
 
     # -- stats (compatibility views over the registry counters) -----------
 
@@ -133,6 +145,22 @@ class BLinkTree:
     @property
     def stats_moves_right(self) -> int:
         return self._m_moves_right.value
+
+    @property
+    def stats_cache_hits(self) -> int:
+        return 0 if self._fastpath is None else self._fastpath.cache_hits
+
+    @property
+    def stats_cache_misses(self) -> int:
+        return 0 if self._fastpath is None else self._fastpath.cache_misses
+
+    @property
+    def stats_finger_hits(self) -> int:
+        return 0 if self._fastpath is None else self._fastpath.finger_hits
+
+    @property
+    def stats_finger_flushes(self) -> int:
+        return 0 if self._fastpath is None else self._fastpath.finger_flushes
 
     # ------------------------------------------------------------------
     # construction
@@ -212,7 +240,17 @@ class BLinkTree:
 
     def _pin(self, page_no: int) -> tuple[Buffer, NodeView]:
         buf = self.file.pin(page_no)
-        return buf, NodeView(buf.data, self.page_size)
+        return buf, self._view(buf)
+
+    def _view(self, buf: Buffer) -> NodeView:
+        """A :class:`NodeView` over *buf* with the decoded-key directory
+        attached when the fastpath is on (searches bisect the cached list
+        instead of unpacking per probe)."""
+        view = NodeView(buf.data, self.page_size)
+        fp = self._fastpath
+        if fp is not None and buf.page_no is not None:
+            view.cached_keys = fp.keys_for(buf, view)
+        return view
 
     def _unpin(self, buf: Buffer) -> None:
         self.file.unpin(buf)
@@ -307,6 +345,7 @@ class BLinkTree:
             self._dirty(mbuf)
             self.engine.sync_state.note_split()
             self._root_cache = None
+            self._fp_epoch += 1
         finally:
             self._unpin(mbuf)
 
@@ -392,8 +431,13 @@ class BLinkTree:
 
     def _child_bounds(self, view: NodeView, slot: int,
                       bounds: KeyBounds) -> KeyBounds:
-        lo = view.key_at(slot)
-        hi = view.key_at(slot + 1) if slot + 1 < view.n_keys else None
+        keys = view.cached_keys
+        if keys is not None:
+            lo = keys[slot]
+            hi = keys[slot + 1] if slot + 1 < len(keys) else None
+        else:
+            lo = view.key_at(slot)
+            hi = view.key_at(slot + 1) if slot + 1 < view.n_keys else None
         return bounds.child(lo, hi)
 
     def _descend(self, key: bytes, *, stop_level: int = 0) -> list[PathEntry]:
@@ -422,7 +466,7 @@ class BLinkTree:
                 child_bounds = self._child_bounds(view, slot, bounds)
                 child_buf = self.file.pin(child_no)
                 schedule_point("pin_child", page=child_no)
-                child_view = NodeView(child_buf.data, self.page_size)
+                child_view = self._view(child_buf)
                 if self.VERIFIES:
                     self._check_child(entry, child_no, child_buf,
                                       child_view, child_bounds)
@@ -459,6 +503,89 @@ class BLinkTree:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # leaf finger (fastpath)
+    # ------------------------------------------------------------------
+
+    def _fp_stamp(self) -> tuple[int, int, int]:
+        """The finger's invalidation stamp: any split, any repair/heal
+        (everything that reports to the repair log), or any root change /
+        page reclamation (the explicit epoch) changes it."""
+        return (self._fp_epoch, self._m_splits.value, len(self.repair_log))
+
+    def _fp_remember(self, leaf: PathEntry) -> None:
+        """Remember *leaf* (just reached by a fully verified descent, or
+        just served in place) as the finger for the next in-bounds op."""
+        fp = self._fastpath
+        if fp is not None and leaf.view.is_leaf:
+            fp.finger_remember(leaf.page_no, leaf.bounds, self._fp_stamp())
+
+    def _finger_entry(self, key: bytes) -> PathEntry | None:
+        """Serve *key*'s leaf from the finger, or None to take the full
+        descent.  A returned entry is pinned; the caller unpins it.
+
+        Validation never bypasses the paper's first-use detection: the
+        finger was established by a descent that ran every Section 3
+        check in this incarnation, the stamp proves no structural change
+        (split, repair, heal, root move, reclaim) happened since, and the
+        page content is re-checked with the same test ``_check_child``
+        applies (:meth:`_finger_usable`).  Anything off falls back to the
+        full repairing descent.
+        """
+        fp = self._fastpath
+        if fp is None or fp.finger_page is None:
+            return None
+        if fp.finger_stamp != self._fp_stamp():
+            fp.finger_flush()
+            return None
+        bounds = fp.finger_bounds
+        if not bounds.contains(key):
+            fp.finger_misses += 1
+            return None
+        page_no = fp.finger_page
+        buf = self.file.pin(page_no)
+        view = self._view(buf)
+        if not self._finger_usable(buf, view, bounds, key):
+            self._unpin(buf)
+            fp.finger_flush()
+            return None
+        fp.finger_hits += 1
+        return PathEntry(page_no, buf, view, bounds)
+
+    def _finger_usable(self, buf: Buffer, view: NodeView,
+                       bounds: KeyBounds, key: bytes) -> bool:
+        """The ``_check_child``-equivalent content test on a finger hit:
+        valid header, still a leaf, keys inside the remembered bounds, no
+        pending reorg backup, and no replacement advertisement from the
+        current sync window (which a descent's ``_follow_moves`` would
+        have to resolve)."""
+        data = buf.data
+        if not valid_magic(data):
+            return False
+        if not view.is_leaf or view.level != 0:
+            return False
+        if view.prev_n_keys or view.backup_count:
+            # a reorg backup needs the Section 3.4 reclamation check,
+            # which wants the descent's context
+            return False
+        if (view.new_page != INVALID_PAGE
+                and self.engine.sync_state.is_current(view.sync_token)):
+            return False
+        n = view.n_keys
+        if n:
+            lo = view.min_key()
+            if lo and lo < bounds.lo:
+                return False
+            hi_key = view.max_key()
+            if bounds.hi is not None and hi_key >= bounds.hi:
+                return False
+            if key > hi_key and view.right_peer != INVALID_PAGE:
+                # beyond this page's live span with a right sibling that a
+                # descent's move-right might prove responsible — only the
+                # rightmost leaf may serve past its max key
+                return False
+        return True
+
+    # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
@@ -473,6 +600,8 @@ class BLinkTree:
         if not isinstance(tid, TID):
             tid = TID(*tid)
         key = self.codec.encode(value)
+        if self._finger_insert(key, value, tid):
+            return
         if self._load_root_checked() == INVALID_PAGE:
             self._create_first_root()
         path = self._descend(key)
@@ -488,8 +617,13 @@ class BLinkTree:
                 )
             item = I.pack_leaf_item(key, tid)
             if self._page_can_fit(leaf.view, len(item)):
+                keys = leaf.view.cached_keys
                 leaf.view.insert_item(slot, item)
                 self._dirty(leaf.buffer)
+                fp = self._fastpath
+                if fp is not None and keys is not None:
+                    fp.note_insert(leaf.buffer, slot, key, keys)
+                self._fp_remember(leaf)
             else:
                 started = perf_counter()
                 splits_before = self._m_splits.value
@@ -504,15 +638,50 @@ class BLinkTree:
         finally:
             self._unpin_path(path)
 
+    def _finger_insert(self, key: bytes, value, tid: TID) -> bool:
+        """Serve an insert from the leaf finger; False → full descent."""
+        entry = self._finger_entry(key)
+        if entry is None:
+            return False
+        try:
+            self._ensure_peer_path(entry)
+            keys = entry.view.cached_keys
+            slot, found = entry.view.search(key)
+            if found:
+                raise DuplicateKeyError(
+                    f"key {value!r} already present; POSTGRES would have "
+                    "made it unique with make_unique()"
+                )
+            item = I.pack_leaf_item(key, tid)
+            if not self._page_can_fit(entry.view, len(item)):
+                # a split needs the parent path — take the descent
+                self._fastpath.finger_flush()
+                return False
+            entry.view.insert_item(slot, item)
+            self._dirty(entry.buffer)
+            if keys is not None:
+                self._fastpath.note_insert(entry.buffer, slot, key, keys)
+            return True
+        finally:
+            self._unpin(entry.buffer)
+
     def lookup(self, value) -> TID | None:
         """Find the TID stored for *value*, or None."""
         key = self.codec.encode(value)
+        entry = self._finger_entry(key)
+        if entry is not None:
+            try:
+                slot, found = entry.view.search(key)
+                return entry.view.tid_at(slot) if found else None
+            finally:
+                self._unpin(entry.buffer)
         path = self._descend(key)
         if not path:
             return None
         try:
             leaf = path[-1]
             slot, found = leaf.view.search(key)
+            self._fp_remember(leaf)
             if not found:
                 return None
             return leaf.view.tid_at(slot)
@@ -523,6 +692,8 @@ class BLinkTree:
         """Remove *value* from the index; empty pages are reclaimed the
         Lanin-Shasha way (the page is recycled once its last key goes)."""
         key = self.codec.encode(value)
+        if self._finger_delete(key, value):
+            return
         path = self._descend(key)
         if not path:
             raise KeyNotFoundError(f"key {value!r} not in index (empty tree)")
@@ -533,12 +704,181 @@ class BLinkTree:
             slot, found = leaf.view.search(key)
             if not found:
                 raise KeyNotFoundError(f"key {value!r} not in index")
+            keys = leaf.view.cached_keys
             leaf.view.delete_item(slot)
             self._dirty(leaf.buffer)
+            fp = self._fastpath
+            if fp is not None and keys is not None:
+                fp.note_delete(leaf.buffer, slot, keys)
             if leaf.view.n_keys == 0 and len(path) > 1:
                 self._reclaim_empty_page(path, len(path) - 1)
+            else:
+                self._fp_remember(leaf)
         finally:
             self._unpin_path(path)
+
+    def _finger_delete(self, key: bytes, value) -> bool:
+        """Serve a delete from the leaf finger; False → full descent."""
+        entry = self._finger_entry(key)
+        if entry is None:
+            return False
+        try:
+            if entry.view.n_keys <= 1:
+                # deleting the last key triggers reclamation, which needs
+                # the parent path — take the descent
+                return False
+            self._ensure_peer_path(entry)
+            keys = entry.view.cached_keys
+            slot, found = entry.view.search(key)
+            if not found:
+                raise KeyNotFoundError(f"key {value!r} not in index")
+            entry.view.delete_item(slot)
+            self._dirty(entry.buffer)
+            if keys is not None:
+                self._fastpath.note_delete(entry.buffer, slot, keys)
+            return True
+        finally:
+            self._unpin(entry.buffer)
+
+    # ------------------------------------------------------------------
+    # batched operations (one descent amortized across a leaf's keys)
+    # ------------------------------------------------------------------
+
+    def insert_many(self, pairs) -> int:
+        """Insert many ``(value, tid)`` pairs; returns the number stored.
+
+        The batch is sorted by encoded key, and every run of keys landing
+        on the same leaf shares one descent (plus one peer-path check and
+        one reclamation check).  Keys that need a split, or whose leaf
+        cannot be proven responsible in place, fall back to the normal
+        single-key :meth:`insert`.  A :class:`DuplicateKeyError` aborts
+        the batch mid-way: earlier keys stay inserted, like a sequence of
+        single inserts would leave them.
+        """
+        batch: list[tuple[bytes, object, TID]] = []
+        encode = self.codec.encode
+        for value, tid in pairs:
+            if not isinstance(tid, TID):
+                tid = TID(*tid)
+            batch.append((encode(value), value, tid))
+        batch.sort(key=lambda e: e[0])
+        fp = self._fastpath
+        done = 0
+        i = 0
+        n = len(batch)
+        while i < n:
+            key, value, tid = batch[i]
+            if self._load_root_checked() == INVALID_PAGE:
+                self._create_first_root()
+            path = self._descend(key)
+            leaf = path[-1]
+            advanced = False
+            try:
+                self._ensure_peer_path(leaf)
+                self._before_page_update(path, len(path) - 1)
+                view = leaf.view
+                bounds = leaf.bounds
+                rightmost = view.right_peer == INVALID_PAGE
+                while i < n:
+                    key, value, tid = batch[i]
+                    if not bounds.contains(key):
+                        break
+                    if (not rightmost and view.n_keys
+                            and key > view.max_key()):
+                        # move-right territory; let the descent decide
+                        break
+                    keys = view.cached_keys
+                    slot, found = view.search(key)
+                    if found:
+                        raise DuplicateKeyError(
+                            f"key {value!r} already present; POSTGRES "
+                            "would have made it unique with make_unique()")
+                    item = I.pack_leaf_item(key, tid)
+                    if not self._page_can_fit(view, len(item)):
+                        break
+                    view.insert_item(slot, item)
+                    self._dirty(leaf.buffer)
+                    if (fp is not None and keys is not None
+                            and fp.note_insert(leaf.buffer, slot, key,
+                                               keys)):
+                        view.cached_keys = keys
+                    if advanced and fp is not None:
+                        fp.batched_amortized += 1
+                    i += 1
+                    done += 1
+                    advanced = True
+                if advanced:
+                    self._fp_remember(leaf)
+            finally:
+                self._unpin_path(path)
+            if not advanced:
+                # full page (split) or ambiguous span: one normal insert
+                self.insert(value, tid)
+                i += 1
+                done += 1
+        return done
+
+    def delete_many(self, values) -> int:
+        """Delete many values; returns the count removed.  Sorted-batch
+        twin of :meth:`insert_many`; deletes that would empty a page fall
+        back to the single-key :meth:`delete` (reclamation needs the
+        parent path).  A :class:`KeyNotFoundError` aborts mid-batch with
+        earlier keys already removed."""
+        encode = self.codec.encode
+        batch = sorted(((encode(v), v) for v in values),
+                       key=lambda e: e[0])
+        fp = self._fastpath
+        done = 0
+        i = 0
+        n = len(batch)
+        while i < n:
+            key, value = batch[i]
+            path = self._descend(key)
+            if not path:
+                raise KeyNotFoundError(
+                    f"key {value!r} not in index (empty tree)")
+            leaf = path[-1]
+            advanced = False
+            try:
+                self._ensure_peer_path(leaf)
+                self._before_page_update(path, len(path) - 1)
+                view = leaf.view
+                bounds = leaf.bounds
+                rightmost = view.right_peer == INVALID_PAGE
+                while i < n:
+                    key, value = batch[i]
+                    if not bounds.contains(key):
+                        break
+                    if (not rightmost and view.n_keys
+                            and key > view.max_key()):
+                        break
+                    if view.n_keys <= 1:
+                        # emptying the page reclaims it; descent handles it
+                        break
+                    keys = view.cached_keys
+                    slot, found = view.search(key)
+                    if not found:
+                        raise KeyNotFoundError(
+                            f"key {value!r} not in index")
+                    view.delete_item(slot)
+                    self._dirty(leaf.buffer)
+                    if (fp is not None and keys is not None
+                            and fp.note_delete(leaf.buffer, slot, keys)):
+                        view.cached_keys = keys
+                    if advanced and fp is not None:
+                        fp.batched_amortized += 1
+                    i += 1
+                    done += 1
+                    advanced = True
+                if advanced:
+                    self._fp_remember(leaf)
+            finally:
+                self._unpin_path(path)
+            if not advanced:
+                self.delete(value)
+                i += 1
+                done += 1
+        return done
 
     def range_scan(self, lo=None, hi=None) -> Iterator[tuple[object, TID]]:
         """Yield ``(value, tid)`` pairs with ``lo <= value < hi`` in key
@@ -576,7 +916,7 @@ class BLinkTree:
                 buf = None
                 page_no = nxt
                 buf = self.file.pin(page_no)
-                view = NodeView(buf.data, self.page_size)
+                view = self._view(buf)
                 slot = 0
         finally:
             if buf is not None:
@@ -882,6 +1222,9 @@ class BLinkTree:
         empties; collapses the root when it is left with one child."""
         entry = path[idx]
         parent = path[idx - 1]
+        # reclamation restructures the tree without bumping the split
+        # counter, so the leaf finger must be invalidated explicitly
+        self._fp_epoch += 1
         self._before_page_update(path, idx - 1)
         pview = parent.view
         slot = parent.slot
@@ -1006,8 +1349,8 @@ class BLinkTree:
                 view = NodeView(buf.data, self.page_size)
                 if view.is_leaf:
                     continue
-                for slot in range(view.n_keys):
-                    keys.add(bytes(view.key_at(slot)))
+                for key in view.keys():
+                    keys.add(bytes(key))
             finally:
                 self.file.unpin(buf)
         return sorted(keys)
@@ -1060,12 +1403,15 @@ class BLinkTree:
                 f"page {page_no}: level {view.level}, expected {level}")
         prev_key = None
         n = view.n_keys
-        for i in range(n):
-            key = view.key_at(i)
+        is_leaf = view.is_leaf
+        # single streaming pass: order, containment, and (for leaves) the
+        # pair harvest share one key decode instead of re-materializing
+        # the page per check
+        for i, key in enumerate(view.keys()):
             if prev_key is not None and key <= prev_key:
                 raise TreeError(f"page {page_no}: keys out of order at {i}")
             prev_key = key
-            if not view.is_leaf and i == 0:
+            if not is_leaf and i == 0:
                 # entry 0 carries the low separator; containment is implied
                 if key != MIN_KEY and key < bounds.lo:
                     raise TreeError(
@@ -1077,10 +1423,10 @@ class BLinkTree:
                     f"[{bounds.lo.hex()}, "
                     f"{'inf' if bounds.hi is None else bounds.hi.hex()})"
                 )
-        if view.is_leaf:
+            if is_leaf:
+                pairs.append((key, view.tid_at(i)))
+        if is_leaf:
             leaves.append(page_no)
-            for i in range(n):
-                pairs.append((view.key_at(i), view.tid_at(i)))
             return
         for i in range(n):
             child_no = view.child_at(i)

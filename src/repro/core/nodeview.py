@@ -26,6 +26,7 @@ original page exactly.
 from __future__ import annotations
 
 import struct
+from bisect import bisect_left, bisect_right
 from typing import Callable, Iterator
 
 from ..constants import (
@@ -59,11 +60,19 @@ class NodeView:
         length metadata beyond ``len``.
     """
 
-    __slots__ = ("buf", "page_size")
+    __slots__ = ("buf", "page_size", "cached_keys")
 
     def __init__(self, buf: bytearray, page_size: int | None = None):
         self.buf = buf
         self.page_size = page_size if page_size is not None else len(buf)
+        #: optional decoded key list attached by the fastpath layer
+        #: (``repro.fastpath``): when set, :meth:`search`/:meth:`route`
+        #: bisect over it instead of unpacking line-table entries per
+        #: probe.  Every mutator that can change the key set resets it to
+        #: ``None`` (enforced statically by lint rule R010); the frame
+        #: version bump in ``mark_dirty`` invalidates the cache entry the
+        #: list came from.
+        self.cached_keys: list[bytes] | None = None
 
     # ------------------------------------------------------------------
     # header fields (live reads/writes against the bytes)
@@ -200,6 +209,7 @@ class NodeView:
     def init_page(self, page_type: int, *, level: int = 0,
                   sync_token: int = 0, shadow_items: bool = False) -> None:
         """Format the buffer as an empty page of the given type."""
+        self.cached_keys = None
         flags = FLAG_SHADOW_ITEMS if shadow_items else 0
         fresh = P.new_page(self.page_size, page_type, level=level,
                            flags=flags, sync_token=sync_token)
@@ -240,15 +250,42 @@ class NodeView:
         """All live items, in line-table order."""
         return [self.item_bytes_at(i) for i in range(self.n_keys)]
 
+    def iter_items(self) -> Iterator[bytes]:
+        """Live items one at a time — for verify/heal loops that only walk
+        the items once and must not materialize a throwaway list."""
+        for i in range(self.n_keys):
+            yield self.item_bytes_at(i)
+
     def keys(self) -> Iterator[bytes]:
         for i in range(self.n_keys):
             yield self.key_at(i)
 
+    def decoded_keys(self) -> list[bytes] | None:
+        """All live keys as one decoded list, or ``None`` when the page
+        bytes cannot be decoded (garbage read before a first-use repair).
+
+        This is the fastpath cache's fill routine: one pass over the line
+        table, after which searches bisect the list without touching the
+        struct layer again.
+        """
+        n = self.n_keys
+        if P.line_offset(n) > self.page_size:
+            return None
+        data = self.buf
+        get_line = P.get_line
+        item_key = I.item_key
+        try:
+            return [item_key(data, get_line(data, i)) for i in range(n)]
+        except (struct.error, IndexError, ValueError):
+            return None
+
     def min_key(self) -> bytes:
-        return self.key_at(0)
+        keys = self.cached_keys
+        return keys[0] if keys else self.key_at(0)
 
     def max_key(self) -> bytes:
-        return self.key_at(self.n_keys - 1)
+        keys = self.cached_keys
+        return keys[-1] if keys else self.key_at(self.n_keys - 1)
 
     # ------------------------------------------------------------------
     # search
@@ -257,6 +294,10 @@ class NodeView:
     def search(self, key: bytes) -> tuple[int, bool]:
         """Leftmost index whose key >= *key*, and whether it is an exact
         match.  Index may equal ``n_keys`` (key greater than everything)."""
+        keys = self.cached_keys
+        if keys is not None:
+            lo = bisect_left(keys, key)
+            return lo, lo < len(keys) and keys[lo] == key
         lo, hi = 0, self.n_keys
         while lo < hi:
             mid = (lo + hi) // 2
@@ -272,6 +313,10 @@ class NodeView:
         separator key is <= *key*.  Entry 0 normally carries the
         minus-infinity sentinel, so this is well defined for any key the
         descent can legitimately bring here."""
+        keys = self.cached_keys
+        if keys is not None:
+            index = bisect_right(keys, key) - 1
+            return 0 if index < 0 else index
         index, found = self.search(key)
         if found:
             return index
@@ -380,6 +425,7 @@ class NodeView:
         line-table entry.  *step_hook* (tests only) is called between the
         ordered steps to let a harness capture intermediate images.
         """
+        self.cached_keys = None
         n = self.n_keys
         if not 0 <= index <= n:
             raise PageError(f"insert index {index} out of range 0..{n}")
@@ -406,20 +452,28 @@ class NodeView:
             if step_hook:
                 step_hook("line-written")
             self.n_keys = n + 1
+        elif step_hook is None:
+            # same final image as the stepped protocol below, but the
+            # whole shift is one slice move instead of a per-entry loop
+            # (the intermediate byte states are only observable through a
+            # step hook; crashes snapshot whole pages at sync time)
+            start = P.line_offset(index)
+            end = P.line_offset(n)
+            width = P.LINE_ENTRY_SIZE
+            self.buf[start + width: end + width] = self.buf[start:end]
+            self.n_keys = n + 1
+            P.set_line(self.buf, index, offset)
         else:
             # (1) copy the last entry one element beyond the line table
             P.set_line(self.buf, n, P.get_line(self.buf, n - 1))
-            if step_hook:
-                step_hook("copied-last")
+            step_hook("copied-last")
             # (2) increment nKeys
             self.n_keys = n + 1
-            if step_hook:
-                step_hook("incremented")
+            step_hook("incremented")
             # (3) copy entries between `index` and the last one right
             for j in range(n - 1, index, -1):
                 P.set_line(self.buf, j, P.get_line(self.buf, j - 1))
-                if step_hook:
-                    step_hook(f"shifted-{j}")
+                step_hook(f"shifted-{j}")
             # (4) store the new entry
             P.set_line(self.buf, index, offset)
         self.lower = P.line_offset(self.n_keys + self.backup_count)
@@ -428,6 +482,7 @@ class NodeView:
                     step_hook: StepHook | None = None) -> None:
         """Delete the entry at *index* with the paper's copy-left-then-
         decrement ordering.  The item's heap bytes become dead space."""
+        self.cached_keys = None
         n = self.n_keys
         if not 0 <= index < n:
             raise PageError(f"delete index {index} out of range 0..{n - 1}")
@@ -436,9 +491,14 @@ class NodeView:
                 "delete from a page holding backup keys; run the "
                 "reclamation check first"
             )
-        for j in range(index, n - 1):
-            P.set_line(self.buf, j, P.get_line(self.buf, j + 1))
-            if step_hook:
+        if step_hook is None:
+            start = P.line_offset(index)
+            end = P.line_offset(n)
+            width = P.LINE_ENTRY_SIZE
+            self.buf[start: end - width] = self.buf[start + width: end]
+        else:
+            for j in range(index, n - 1):
+                P.set_line(self.buf, j, P.get_line(self.buf, j + 1))
                 step_hook(f"copied-{j}")
         self.n_keys = n - 1
         self.lower = P.line_offset(self.n_keys + self.backup_count)
@@ -478,6 +538,7 @@ class NodeView:
         """Rebuild the page to contain exactly *item_blobs* (already
         serialized, already sorted).  Header identity fields (type, level,
         flags, peers, tokens) are preserved; the backup region is cleared."""
+        self.cached_keys = None
         header = P.read_header(self.buf)
         body_start = P.line_offset(len(item_blobs))
         upper = self.page_size
@@ -566,6 +627,7 @@ class NodeView:
         "assigning prevNKeys to nKeys reallocates the duplicate keys")."""
         if not self.prev_n_keys:
             raise PageError("restore_backup on a page with no backup")
+        self.cached_keys = None
         n, b = self.n_keys, self.backup_count
         if n + b != self.prev_n_keys:
             raise PageCorruptError(

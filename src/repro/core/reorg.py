@@ -254,7 +254,7 @@ class ReorgBLinkTree(BLinkTree):
             if target == INVALID_PAGE:
                 break
             tbuf = self.file.pin(target)
-            tview = NodeView(tbuf.data, self.page_size)
+            tview = self._view(tbuf)
             if (not valid_magic(tbuf.data)
                     or tview.level != view.level or tview.n_keys == 0
                     or tview.min_key() > key):
@@ -484,10 +484,9 @@ class ReorgBLinkTree(BLinkTree):
         was also lost, it is regenerated from the fresh backup."""
         started = perf_counter()
         child_no = child_buf.page_no
-        blobs = child_view.items()
-        n = len(blobs)
+        n = child_view.n_keys
         live, backup = [], []
-        for blob in blobs:
+        for blob in child_view.iter_items():
             key = I.item_key(blob, 0)
             if bounds.contains(key) or (key == MIN_KEY
                                         and bounds.lo == MIN_KEY):

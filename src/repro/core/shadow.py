@@ -70,11 +70,15 @@ class ShadowBLinkTree(BLinkTree):
             # a formatted empty page can only exist durably if a sync
             # wrote it; nothing disproves it
             return True
-        lo = child_view.key_at(0)
+        keys = child_view.cached_keys
+        if keys is not None:
+            lo, hi_key = keys[0], keys[-1]
+        else:
+            lo, hi_key = child_view.key_at(0), child_view.key_at(n - 1)
         if lo and lo < bounds.lo:
             return False
         hi = bounds.hi
-        if hi is not None and child_view.key_at(n - 1) >= hi:
+        if hi is not None and hi_key >= hi:
             return False
         return True
 
@@ -181,7 +185,7 @@ class ShadowBLinkTree(BLinkTree):
                and self.engine.sync_state.is_current(view.sync_token)):
             target = view.new_page
             tbuf = self.file.pin(target)
-            tview = NodeView(tbuf.data, self.page_size)
+            tview = self._view(tbuf)
             if not valid_magic(tbuf.data):
                 self._unpin(tbuf)
                 break
@@ -196,7 +200,7 @@ class ShadowBLinkTree(BLinkTree):
                and key > view.max_key()):
             target = view.right_peer
             tbuf = self.file.pin(target)
-            tview = NodeView(tbuf.data, self.page_size)
+            tview = self._view(tbuf)
             if (not valid_magic(tbuf.data)
                     or tview.level != view.level or tview.n_keys == 0
                     or tview.min_key() > key):

@@ -9,6 +9,7 @@ from .metrics import (
     COUNT_BUCKETS,
     TIME_BUCKETS,
     Counter,
+    FuncCounter,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -32,6 +33,7 @@ __all__ = [
     "COUNT_BUCKETS",
     "TIME_BUCKETS",
     "Counter",
+    "FuncCounter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

@@ -56,6 +56,28 @@ class Counter:
         self.value += amount
 
 
+class FuncCounter:
+    """A counter whose value is *pulled* from a callable at snapshot time.
+
+    The hottest call sites (``BufferPool.pin`` most of all) cannot afford
+    even a bound-method ``inc()`` per event, so they keep plain integer
+    attributes and register one of these instead.  The registry reads
+    ``value`` only when :meth:`MetricsRegistry.snapshot` runs, so the hot
+    path pays a single ``+= 1`` on a local int and nothing else.
+    """
+
+    __slots__ = ("name", "labels", "_fn")
+
+    def __init__(self, name: str, labels: dict[str, str], fn):
+        self.name = name
+        self.labels = labels
+        self._fn = fn
+
+    @property
+    def value(self) -> int:
+        return self._fn()
+
+
 class Gauge:
     """A value that goes up and down (cached frames, live pins)."""
 
@@ -140,7 +162,7 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: list[Counter] = []
+        self._counters: list[Counter | FuncCounter] = []
         self._gauges: list[Gauge] = []
         self._histograms: list[Histogram] = []
 
@@ -148,6 +170,18 @@ class MetricsRegistry:
 
     def counter(self, name: str, **labels: str) -> Counter:
         metric = Counter(name, labels)
+        with self._lock:
+            self._counters.append(metric)
+        return metric
+
+    def func_counter(self, name: str, fn, **labels: str) -> FuncCounter:
+        """Register a lazily-evaluated counter backed by *fn*.
+
+        Aggregates with eagerly-incremented :class:`Counter` instances of
+        the same ``(name, labels)`` — :meth:`snapshot` only ever reads
+        ``.value``.
+        """
+        metric = FuncCounter(name, labels, fn)
         with self._lock:
             self._counters.append(metric)
         return metric

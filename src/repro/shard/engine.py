@@ -202,6 +202,27 @@ class ShardedTree:
     def delete(self, value: object) -> None:
         self._tree_for(value).delete(value)
 
+    def insert_many(self, pairs) -> int:
+        """Batched insert: group by target shard, then let each shard's
+        tree amortize one descent per leaf.  Returns the number stored."""
+        groups: dict[int, list] = {}
+        for value, tid in pairs:
+            groups.setdefault(self.shard_of(value), []).append((value, tid))
+        done = 0
+        for index, batch in groups.items():
+            done += self.live_tree(index).insert_many(batch)
+        return done
+
+    def delete_many(self, values) -> int:
+        """Batched twin of :meth:`insert_many` for deletes."""
+        groups: dict[int, list] = {}
+        for value in values:
+            groups.setdefault(self.shard_of(value), []).append(value)
+        done = 0
+        for index, batch in groups.items():
+            done += self.live_tree(index).delete_many(batch)
+        return done
+
     def range_scan(self, lo=None, hi=None) -> Iterator[tuple[object, object]]:
         """Globally ordered scan: a lazy merge of the per-shard sorted
         streams, keyed on the encoded form (the order the trees sort by).

@@ -20,31 +20,44 @@ paper's algorithms:
 from __future__ import annotations
 
 from collections import OrderedDict
+from itertools import count
 from typing import Iterator
 
 from ..errors import BufferError_
 from ..obs import get_registry, get_trace
 from .disk import SimulatedDisk
 
+#: Globally monotonic frame-content version source.  Every frame gets a
+#: fresh value at construction and on every mutation event
+#: (:meth:`BufferPool.mark_dirty`, :meth:`BufferPool.note_volatile`,
+#: :meth:`BufferPool.remap`), and a frame that leaves the pool (eviction,
+#: :meth:`BufferPool.drop`, crash reopen) can only come back as a *new*
+#: ``Buffer`` with a *new* version.  ``(page_no, version)`` therefore never
+#: repeats across frame reincarnations, which is what lets the fastpath
+#: decoded-key directory key on it without an explicit invalidation hook.
+_next_version = count(1).__next__
+
 
 class Buffer:
     """One in-memory page frame.
 
     ``page_no`` is ``None`` for virtual buffers (allocated in memory only,
-    not yet bound to a disk slot).
+    not yet bound to a disk slot).  ``version`` identifies the frame's
+    current content generation — see :data:`_next_version`.
     """
 
-    __slots__ = ("page_no", "data", "pin_count", "dirty")
+    __slots__ = ("page_no", "data", "pin_count", "dirty", "version")
 
     def __init__(self, page_no: int | None, data: bytearray):
         self.page_no = page_no
         self.data = data
         self.pin_count = 0
         self.dirty = False
+        self.version = _next_version()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"<Buffer page={self.page_no} pins={self.pin_count} "
-                f"dirty={self.dirty}>")
+                f"dirty={self.dirty} v={self.version}>")
 
 
 class BufferPool:
@@ -67,37 +80,48 @@ class BufferPool:
         self._frames: OrderedDict[int, Buffer] = OrderedDict()
         #: pages declared deliberately buffer-only via :meth:`note_volatile`
         self._volatile: set[int] = set()
+        # plain ints, not registry Counter objects: ``pin()`` is the single
+        # hottest call in the system, and even a bound-method ``inc()`` per
+        # pin is measurable.  The registry still sees exact values through
+        # lazily-evaluated func counters read only at snapshot time.
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._overflows = 0
+        self._volatile_exempt = 0
         reg = get_registry()
-        self._m_hits = reg.counter("buffer_pool.hits", file=disk.name)
-        self._m_misses = reg.counter("buffer_pool.misses", file=disk.name)
-        self._m_evictions = reg.counter("buffer_pool.evictions",
-                                        file=disk.name)
-        self._m_overflows = reg.counter("buffer_pool.overflows",
-                                        file=disk.name)
-        self._m_volatile_exempt = reg.counter(
-            "buffer_pool.volatile_exemptions", file=disk.name)
+        reg.func_counter("buffer_pool.hits", lambda: self._hits,
+                         file=disk.name)
+        reg.func_counter("buffer_pool.misses", lambda: self._misses,
+                         file=disk.name)
+        reg.func_counter("buffer_pool.evictions", lambda: self._evictions,
+                         file=disk.name)
+        reg.func_counter("buffer_pool.overflows", lambda: self._overflows,
+                         file=disk.name)
+        reg.func_counter("buffer_pool.volatile_exemptions",
+                         lambda: self._volatile_exempt, file=disk.name)
 
-    # -- stats (compatibility views over the registry counters) -----------
+    # -- stats (compatibility views over the plain counters) --------------
 
     @property
     def stats_hits(self) -> int:
-        return self._m_hits.value
+        return self._hits
 
     @property
     def stats_misses(self) -> int:
-        return self._m_misses.value
+        return self._misses
 
     @property
     def stats_evictions(self) -> int:
-        return self._m_evictions.value
+        return self._evictions
 
     @property
     def stats_overflows(self) -> int:
-        return self._m_overflows.value
+        return self._overflows
 
     @property
     def stats_volatile_exemptions(self) -> int:
-        return self._m_volatile_exempt.value
+        return self._volatile_exempt
 
     # -- pinning -------------------------------------------------------------
 
@@ -105,11 +129,14 @@ class BufferPool:
         """Pin the buffer for *page_no*, faulting it in if needed."""
         buf = self._frames.get(page_no)
         if buf is not None:
-            self._m_hits.inc()
-            self._frames.move_to_end(page_no)
+            self._hits += 1
             buf.pin_count += 1
+            if self._capacity is not None:
+                # LRU order only matters when eviction can happen; the
+                # default unbounded pool skips the OrderedDict churn
+                self._frames.move_to_end(page_no)
         else:
-            self._m_misses.inc()
+            self._misses += 1
             data = bytearray(self._disk.read_page(page_no))
             buf = Buffer(page_no, data)
             self._frames[page_no] = buf
@@ -141,6 +168,9 @@ class BufferPool:
         if buf.pin_count <= 0:
             raise BufferError_("mark_dirty requires a pinned buffer")
         buf.dirty = True
+        # the frame's content changed (the protocol is mutate-then-dirty),
+        # so decoded-key cache entries keyed on the old version must miss
+        buf.version = _next_version()
         # once dirty the frame's whole content reaches the next sync, so
         # any standing volatile declaration is resolved by it
         self._volatile.discard(buf.page_no)
@@ -164,6 +194,9 @@ class BufferPool:
         """
         if buf.page_no is not None:
             self._volatile.add(buf.page_no)
+            # volatile means "mutated without mark_dirty" — the content
+            # still changed, so version-keyed caches must be invalidated
+            buf.version = _next_version()
 
     def is_volatile(self, page_no: int) -> bool:
         """True while a :meth:`note_volatile` declaration stands."""
@@ -248,6 +281,9 @@ class BufferPool:
         del self._frames[page_no]
         self._volatile.discard(page_no)
         virtual.page_no = page_no
+        # the page number just changed hands: any cache entry for
+        # (page_no, old.version) must never match the rebound frame
+        virtual.version = _next_version()
         self._frames[page_no] = virtual
         self._frames.move_to_end(page_no)
         return virtual
@@ -280,10 +316,10 @@ class BufferPool:
                 # the frame carries a deliberate buffer-only divergence
                 # (shadow split advertisement); evicting it would silently
                 # discard the only copy — exempt until a sync retires it
-                self._m_volatile_exempt.inc()
+                self._volatile_exempt += 1
                 continue
             del self._frames[page_no]
-            self._m_evictions.inc()
+            self._evictions += 1
             get_trace().emit("evict", file=self._disk.name, page=page_no)
         if len(self._frames) > self._capacity:
-            self._m_overflows.inc()
+            self._overflows += 1

@@ -145,16 +145,25 @@ def fsck_tree(tree, *, check_peers: bool = True) -> FsckReport:
                 report.add("warn", page_no,
                            "duplicate line-table offsets (interrupted "
                            "insert; repairable)")
-            keys = [view.key_at(i) for i in range(view.n_keys)]
-            if keys != sorted(keys):
-                report.add("error", page_no, "keys out of order")
-            for key in keys:
-                if key == MIN_KEY and not view.is_leaf:
-                    continue
-                if not bounds.contains(key):
+            # single streaming pass: order (prev-compare) and containment
+            # share one key decode instead of materializing and sorting a
+            # throwaway list per page
+            prev_key = None
+            ordered = True
+            contained = True
+            is_leaf = view.is_leaf
+            for key in view.keys():
+                if ordered and prev_key is not None and key < prev_key:
+                    report.add("error", page_no, "keys out of order")
+                    ordered = False
+                prev_key = key
+                if contained and not (key == MIN_KEY and not is_leaf) \
+                        and not bounds.contains(key):
                     report.add("warn", page_no,
                                f"key {key.hex()} outside expected range "
                                "(stale pre-split image; repairable)")
+                    contained = False
+                if not ordered and not contained:
                     break
             if view.prev_n_keys:
                 report.add("info", page_no,

@@ -162,11 +162,40 @@ def run_sharded_demo_workload(kind: str, *, n_shards: int = 4,
 # rendering
 # ----------------------------------------------------------------------
 
+def _fastpath_summary(snapshot: dict) -> dict | None:
+    """Aggregate the ``fastpath.*`` counter series (which are labelled
+    per tree) into campaign totals plus derived hit rates."""
+    totals: dict[str, int] = {}
+    for key, val in snapshot.get("counters", {}).items():
+        if not key.startswith("fastpath."):
+            continue
+        base = key.split("[", 1)[0]
+        totals[base] = totals.get(base, 0) + val
+    if not totals:
+        return None
+
+    def rate(hit_key: str, miss_key: str) -> float | None:
+        hits = totals.get(hit_key, 0)
+        total = hits + totals.get(miss_key, 0)
+        return round(hits / total, 4) if total else None
+
+    return {
+        "totals": totals,
+        "page_cache_hit_rate": rate("fastpath.page_cache.hits",
+                                    "fastpath.page_cache.misses"),
+        "finger_hit_rate": rate("fastpath.finger.hits",
+                                "fastpath.finger.misses"),
+        "descents_amortized": totals.get("fastpath.batch.amortized", 0),
+    }
+
+
 def collect(recent: int = _RECENT_EVENTS) -> dict:
     """One JSON-ready document: metrics snapshot + trace summary."""
     trace = get_trace()
+    metrics = get_registry().snapshot()
     return {
-        "metrics": get_registry().snapshot(),
+        "metrics": metrics,
+        "fastpath": _fastpath_summary(metrics),
         "trace": {
             "counts": trace.counts(),
             "recent": [e.to_dict() for e in trace.events()[-recent:]],
@@ -175,7 +204,18 @@ def collect(recent: int = _RECENT_EVENTS) -> dict:
 
 
 def render_report(doc: dict) -> str:
-    lines = [render_text(doc["metrics"]), "", "trace event counts:"]
+    lines = [render_text(doc["metrics"])]
+    fastpath = doc.get("fastpath")
+    if fastpath:
+        lines += ["", "fastpath summary:"]
+        for label, key in (("page-cache hit rate", "page_cache_hit_rate"),
+                           ("finger hit rate", "finger_hit_rate")):
+            value = fastpath.get(key)
+            lines.append(f"  {label:<22} "
+                         f"{'-' if value is None else f'{value:.1%}'}")
+        lines.append(f"  {'descents amortized':<22} "
+                     f"{fastpath['descents_amortized']}")
+    lines += ["", "trace event counts:"]
     counts = doc["trace"]["counts"]
     if counts:
         for etype, n in sorted(counts.items()):

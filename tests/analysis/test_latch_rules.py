@@ -245,7 +245,8 @@ def test_r009_with_statement_clean(tmp_path):
 
 def test_latch_rules_registered():
     ids = [rule.rule_id for rule in all_rules()]
-    assert ["R006", "R007", "R008", "R009"] == ids[-4:]
+    start = ids.index("R006")
+    assert ["R006", "R007", "R008", "R009"] == ids[start:start + 4]
 
 
 def test_pragma_suppresses_latch_rule(tmp_path):

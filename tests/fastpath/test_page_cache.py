@@ -1,0 +1,162 @@
+"""Decoded-key directory: version keying, incremental maintenance,
+eviction, and equivalence with the byte-path search."""
+# lint: disable=R003 — these unit tests build NodeViews over standalone
+# bytearrays (no pool frame, no sync), so there is nothing to mark dirty;
+# version bumps are applied by hand where a test needs them.
+
+import pytest
+
+from repro import StorageEngine, TREE_CLASSES, TID
+from repro.core.nodeview import NodeView
+from repro.constants import PAGE_LEAF
+from repro.core import items as I
+from repro.fastpath import FastPath, overridden
+from repro.storage.buffer_pool import Buffer
+
+from ..conftest import SMALL_PAGE, fill_tree, tid_for
+
+PAGE = SMALL_PAGE
+
+
+def make_leaf_buffer(keys, page_size=PAGE):
+    data = bytearray(page_size)
+    view = NodeView(data, page_size)
+    view.init_page(PAGE_LEAF, level=0, sync_token=1, shadow_items=False)
+    for slot, key in enumerate(sorted(keys)):
+        view.insert_item(slot, I.pack_leaf_item(key, TID(1, slot)))
+    buf = Buffer(3, data)
+    return buf, NodeView(data, page_size)
+
+
+def fresh_fastpath(cap=4096):
+    return FastPath(kind="test", file_name="t", cache_cap=cap)
+
+
+def test_keys_for_hit_requires_matching_version():
+    buf, view = make_leaf_buffer([b"a", b"b", b"c"])
+    fp = fresh_fastpath()
+    keys = fp.keys_for(buf, view)
+    assert keys == [b"a", b"b", b"c"]
+    assert fp.keys_for(buf, view) is keys
+    assert fp.cache_hits == 1 and fp.cache_misses == 1
+    # any version bump forces a re-decode
+    buf.version += 1
+    assert fp.keys_for(buf, view) is not None
+    assert fp.cache_misses == 2
+
+
+def test_note_insert_restamps_to_current_version():
+    buf, view = make_leaf_buffer([b"a", b"c"])
+    fp = fresh_fastpath()
+    keys = fp.keys_for(buf, view)
+    view.insert_item(1, I.pack_leaf_item(b"b", TID(1, 9)))
+    buf.version += 7          # what mark_dirty would do
+    assert fp.note_insert(buf, 1, b"b", keys)
+    served = fp.keys_for(buf, view)
+    assert served is keys and served == [b"a", b"b", b"c"]
+    assert fp.cache_hits == 1
+
+
+def test_note_delete_restamps_to_current_version():
+    buf, view = make_leaf_buffer([b"a", b"b", b"c"])
+    fp = fresh_fastpath()
+    keys = fp.keys_for(buf, view)
+    view.delete_item(0)
+    buf.version += 1
+    assert fp.note_delete(buf, 0, keys)
+    assert fp.keys_for(buf, view) == [b"b", b"c"]
+
+
+def test_note_insert_refuses_foreign_list():
+    buf, view = make_leaf_buffer([b"a"])
+    fp = fresh_fastpath()
+    fp.keys_for(buf, view)
+    stale = [b"a"]
+    assert not fp.note_insert(buf, 1, b"b", stale)
+    assert stale == [b"a"]    # untouched
+
+
+def test_cache_cap_evicts_oldest():
+    fp = fresh_fastpath(cap=2)
+    for page_no in (1, 2, 3):
+        buf, view = make_leaf_buffer([b"k%d" % page_no])
+        buf.page_no = page_no
+        fp.keys_for(buf, view)
+    assert fp.cache_len() == 2
+    assert fp.cache_evictions == 1
+
+
+def test_decoded_keys_none_on_garbage():
+    data = bytearray(PAGE)
+    data[0:PAGE] = bytes([0xFF]) * PAGE
+    view = NodeView(data, PAGE)
+    assert view.decoded_keys() is None
+
+
+def test_zeroed_page_not_cached():
+    buf = Buffer(5, bytearray(PAGE))
+    fp = fresh_fastpath()
+    view = NodeView(buf.data, PAGE)
+    assert fp.keys_for(buf, view) in (None, [])
+    # garbage/zeroed pages never poison the directory with wrong keys
+
+
+def test_mark_dirty_and_remap_and_reopen_bump_versions(engine):
+    file = engine.create_file("f")
+    page = file.allocate()
+    buf = file.pin(page)
+    try:
+        v0 = buf.version
+        file.mark_dirty(buf)
+        assert buf.version > v0
+    finally:
+        file.unpin(buf)
+    engine.sync()
+    # a dropped frame re-faults as a new Buffer with a new version
+    file.pool.drop(page)
+    buf2 = file.pin(page)
+    try:
+        assert buf2.version > v0
+    finally:
+        file.unpin(buf2)
+
+
+@pytest.mark.parametrize("kind", ("normal", "shadow", "reorg", "hybrid"))
+def test_cached_search_equivalent_to_byte_search(kind):
+    with overridden(True):
+        engine = StorageEngine.create(page_size=PAGE, seed=42)
+        tree = TREE_CLASSES[kind].create(engine, "ix", codec="uint32")
+        fill_tree(tree, range(500))
+    with overridden(False):
+        engine2 = StorageEngine.create(page_size=PAGE, seed=42)
+        tree2 = TREE_CLASSES[kind].create(engine2, "ix", codec="uint32")
+        fill_tree(tree2, range(500))
+    for probe in range(520):
+        assert tree.lookup(probe) == tree2.lookup(probe)
+    assert tree.check() == tree2.check()
+    assert tree.stats_cache_hits > 0
+
+
+@pytest.mark.parametrize("kind", ("shadow", "reorg"))
+def test_cache_counters_exported_via_registry(kind):
+    from repro.obs import get_registry
+    with overridden(True):
+        engine = StorageEngine.create(page_size=PAGE, seed=3)
+        tree = TREE_CLASSES[kind].create(engine, "ixq", codec="uint32")
+        fill_tree(tree, range(200))
+        for i in range(200):
+            tree.lookup(i)
+        snap = get_registry().snapshot()
+    hits = [v for k, v in snap["counters"].items()
+            if k.startswith("fastpath.page_cache.hits") and "ixq" in k]
+    assert hits and hits[0] == tree.stats_cache_hits > 0
+
+
+def test_disabled_mode_attaches_no_fastpath():
+    with overridden(False):
+        engine = StorageEngine.create(page_size=PAGE, seed=3)
+        tree = TREE_CLASSES["shadow"].create(engine, "ix", codec="uint32")
+        fill_tree(tree, range(100))
+        assert tree._fastpath is None
+        assert tree.stats_cache_hits == 0
+        assert tree.stats_finger_hits == 0
