@@ -1,10 +1,13 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check hotpath lint races shard test test-sanitized
+.PHONY: check flow hotpath lint races shard test test-sanitized
 
 check:
 	sh scripts/check.sh
+
+flow:
+	python -m repro.tools.lint src/ tests/ benchmarks/ --engine=flow
 
 lint:
 	python -m repro.tools.lint src/ tests/ benchmarks/

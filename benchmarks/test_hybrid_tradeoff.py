@@ -25,8 +25,8 @@ def internal_item_overhead(tree):
     while stack:
         page_no = stack.pop()
         buf = file.pin(page_no)
-        view = NodeView(buf.data, tree.page_size)
         try:
+            view = NodeView(buf.data, tree.page_size)
             if view.is_leaf:
                 continue
             if view.level >= 2:

@@ -9,8 +9,18 @@ cd "$(dirname "$0")/.."
 PYTHONPATH=src
 export PYTHONPATH
 
-echo "==> crash-safety lint (python -m repro.tools.lint)"
-python -m repro.tools.lint src/ tests/ benchmarks/
+echo "==> crash-safety lint, pattern rules (python -m repro.tools.lint)"
+python -m repro.tools.lint src/ tests/ benchmarks/ --engine=pattern
+
+echo "==> crash-safety lint, flow rules (--engine=flow, JSON report)"
+python -m repro.tools.lint src/ tests/ benchmarks/ --engine=flow \
+    --format=json > LINT_flow.json
+python -c "
+import json
+doc = json.load(open('LINT_flow.json'))
+assert doc['ok'], doc['violations']
+print(f\"flow engine clean over {doc['files_checked']} files\")
+"
 
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff"

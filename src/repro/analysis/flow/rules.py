@@ -1,0 +1,112 @@
+"""R011–R015 — the path-sensitive flow rules.
+
+All five rules share one :class:`~.engine.FlowAnalysis` pass per file
+(cached on the :class:`~...lint.FileContext`), so running the full flow
+catalogue costs one fixpoint, not five.  Each rule filters the shared
+findings by rule id and attaches the witness path — the concrete
+file:line chain of protocol events and branch decisions along which the
+violation happens — to the emitted :class:`~...lint.Violation`.
+
+========  ==================================================================
+rule      discipline (paper section)
+========  ==================================================================
+R011      a pinned frame leaks on *some* exit path — normal or
+          exceptional — even when other paths release it (3.6)
+R012      a page mutation reaches a normal exit with no dirty evidence
+          on *that path* — the per-branch version of R003's per-scope
+          check; the no-steal sync loses exactly that branch's update
+R013      a frame or NodeView is used after its pin was released on the
+          current path — the pool may already have evicted the page
+R014      a latch is held across a blocking call on some path, or is
+          still held when a path leaves the function (3.6)
+R015      ``note_insert`` / ``note_delete`` runs on a path that has not
+          yet marked the buffer dirty — the per-path version of R010's
+          leg 3: the restamped cache entry captures the stale version
+========  ==================================================================
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterator
+
+from ..lint import FileContext, Rule, Violation
+from ..rules.mutation import _in_page_layer
+from .engine import FlowAnalysis
+
+__all__ = [
+    "FlowRule",
+    "PinLeakOnPathRule",
+    "WriteWithoutDirtyOnPathRule",
+    "UseAfterUnpinRule",
+    "LatchAcrossBlockingPathRule",
+    "NoteBeforeDirtyOnPathRule",
+    "flow_rules",
+]
+
+_CACHE_ATTR = "_flow_analysis_cache"
+
+
+def analysis_for(ctx: FileContext) -> FlowAnalysis:
+    """The file's shared flow analysis; computed once, reused by all
+    five rules (and by anything else that wants the findings)."""
+    cached = getattr(ctx, _CACHE_ATTR, None)
+    if cached is None:
+        cached = FlowAnalysis(ctx.tree, in_page_layer=_in_page_layer(ctx))
+        setattr(ctx, _CACHE_ATTR, cached)
+    return cached
+
+
+class FlowRule(Rule):
+    """Base for the flow rules: filter the shared findings by id."""
+
+    rule_id: ClassVar[str] = "R000"
+    summary: ClassVar[str] = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for finding in analysis_for(ctx).findings:
+            if finding.rule_id != self.rule_id:
+                continue
+            yield Violation(
+                rule_id=self.rule_id,
+                path=ctx.rel_path,
+                line=finding.line,
+                col=finding.col + 1,
+                message=finding.message,
+                witness=finding.witness,
+            )
+
+
+class PinLeakOnPathRule(FlowRule):
+    rule_id = "R011"
+    summary = "pin leaks on some exit path (normal or exceptional)"
+
+
+class WriteWithoutDirtyOnPathRule(FlowRule):
+    rule_id = "R012"
+    summary = "mutation reaches an exit path with no dirty-mark on it"
+
+
+class UseAfterUnpinRule(FlowRule):
+    rule_id = "R013"
+    summary = "frame/NodeView used after its pin was released"
+
+
+class LatchAcrossBlockingPathRule(FlowRule):
+    rule_id = "R014"
+    summary = "latch held across a blocking call or leaked on some path"
+
+
+class NoteBeforeDirtyOnPathRule(FlowRule):
+    rule_id = "R015"
+    summary = "cache note runs before the path's dirty-mark"
+
+
+def flow_rules() -> list[Rule]:
+    """One instance of every flow rule, in rule-id order."""
+    return [
+        PinLeakOnPathRule(),
+        WriteWithoutDirtyOnPathRule(),
+        UseAfterUnpinRule(),
+        LatchAcrossBlockingPathRule(),
+        NoteBeforeDirtyOnPathRule(),
+    ]

@@ -29,25 +29,41 @@ _PRAGMA_RE = re.compile(r"#\s*lint:\s*disable=([A-Z][0-9]+(?:\s*,\s*[A-Z][0-9]+)
 
 @dataclass(frozen=True)
 class Violation:
-    """One rule finding, addressed the way compilers address diagnostics."""
+    """One rule finding, addressed the way compilers address diagnostics.
+
+    ``witness`` is the concrete path the flow rules (R011–R015) report:
+    an ordered ``(line, note)`` chain of the protocol events and branch
+    decisions along which the violation happens.  Pattern rules leave it
+    empty.
+    """
 
     rule_id: str
     path: str
     line: int
     col: int
     message: str
+    witness: tuple[tuple[int, str], ...] = ()
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if not self.witness:
+            return head
+        steps = [f"{self.path}:{line} {note}" for line, note in self.witness]
+        chain = "\n           -> ".join(steps)
+        return f"{head}\n    witness: {chain}"
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.witness:
+            data["witness"] = [{"line": line, "note": note}
+                               for line, note in self.witness]
+        return data
 
 
 class FileContext:
@@ -138,6 +154,71 @@ class LintReport:
             },
             indent=2,
         )
+
+    def render_sarif(self, rules: Iterable[Rule] | None = None) -> str:
+        """SARIF 2.1.0, the format CI code-scanning ingests.  Witness
+        steps become ``relatedLocations`` so the annotation shows the
+        whole path, not just the anchor line."""
+        catalogue = [
+            {
+                "id": rule.rule_id,
+                "name": type(rule).__name__,
+                "shortDescription": {"text": rule.summary},
+            }
+            for rule in (rules or [])
+        ]
+        results = []
+        for v in self.violations:
+            result: dict = {
+                "ruleId": v.rule_id,
+                "level": "error",
+                "message": {"text": v.message},
+                "locations": [_sarif_location(v.path, v.line, v.col)],
+            }
+            if v.witness:
+                result["relatedLocations"] = [
+                    {
+                        **_sarif_location(v.path, line, 1),
+                        "message": {"text": note},
+                    }
+                    for line, note in v.witness
+                ]
+            results.append(result)
+        run: dict = {
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/repro/repro#storage-protocol-lint",
+                    "rules": catalogue,
+                }
+            },
+            "results": results,
+            "invocations": [
+                {
+                    "executionSuccessful": not self.parse_errors,
+                    "exitCode": 0 if self.ok else 1,
+                }
+            ],
+        }
+        return json.dumps(
+            {
+                "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+                "version": "2.1.0",
+                "runs": [run],
+            },
+            indent=2,
+        )
+
+
+def _sarif_location(path: str, line: int, col: int) -> dict:
+    return {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": max(1, line),
+                       "startColumn": max(1, col)},
+        }
+    }
 
 
 def iter_python_files(paths: Iterable[str | Path]) -> Iterator[tuple[Path, str]]:

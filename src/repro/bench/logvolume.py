@@ -77,6 +77,7 @@ def _poison_a_page(tree, poison: bytes) -> None:
         while not view.is_leaf:
             child = view.child_at(view.n_keys - 1)
             tree.file.unpin(buf)
+            buf = None  # pin() below can raise: never double-release
             buf = tree.file.pin(child)
             view = NodeView(buf.data, tree.page_size)
         offset = view.item_off(view.n_keys - 1)
@@ -85,7 +86,8 @@ def _poison_a_page(tree, poison: bytes) -> None:
         buf.data[offset + 2: offset + 2 + len(poison)] = poison  # lint: disable=R002
         tree.file.mark_dirty(buf)
     finally:
-        tree.file.unpin(buf)
+        if buf is not None:
+            tree.file.unpin(buf)
 
 
 def print_report(data: dict) -> None:

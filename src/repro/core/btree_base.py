@@ -465,12 +465,19 @@ class BLinkTree:
                 child_no = view.child_at(slot)
                 child_bounds = self._child_bounds(view, slot, bounds)
                 child_buf = self.file.pin(child_no)
-                schedule_point("pin_child", page=child_no)
-                child_view = self._view(child_buf)
-                if self.VERIFIES:
-                    self._check_child(entry, child_no, child_buf,
-                                      child_view, child_bounds)
-                path.append(entry)
+                try:
+                    schedule_point("pin_child", page=child_no)
+                    child_view = self._view(child_buf)
+                    if self.VERIFIES:
+                        self._check_child(entry, child_no, child_buf,
+                                          child_view, child_bounds)
+                    path.append(entry)
+                except BaseException:
+                    # the handler below only releases buf and path —
+                    # child_buf is not theirs until the rebind (append
+                    # fails, if at all, without mutating the list)
+                    self._unpin(child_buf)
+                    raise
                 page_no, buf, view = child_no, child_buf, child_view
                 bounds = child_bounds
         except BaseException:
@@ -1083,35 +1090,46 @@ class BLinkTree:
                     return
                 seen.add(nxt)
                 nbuf = self.file.pin(nxt)
-                nview = NodeView(nbuf.data, self.page_size)
-                dead = not valid_magic(nbuf.data)
-                their_token = None if dead else (
-                    nview.right_peer_token if left
-                    else nview.left_peer_token)
-                if dead or not tokens_match(their_token, our_token):
-                    self._unpin(nbuf)
-                    if left:
-                        healed = self._heal_left_link(page_no, buf, view)
-                    else:
-                        healed = self._heal_right_link(page_no, buf, view)
-                    if healed is None:
-                        return
-                    nxt = healed
-                    nbuf = self.file.pin(nxt)
+                try:
                     nview = NodeView(nbuf.data, self.page_size)
-                already_checked = nxt in self._peer_path_checked
-                tok = nview.sync_token
-                if episode_token is None and state.predates_last_crash(tok):
-                    episode_token = tok  # lazy bind for repair-time walks
-                keep_going = (tokens_match(tok, episode_token)
-                              if episode_token is not None else False) \
-                    or state.in_current_incarnation(tok)
-                if not keep_going or already_checked:
-                    # do not mark a page we merely stop at: only pages we
-                    # walk *through* have both their links verified
-                    self._unpin(nbuf)
-                    return
-                self._peer_path_checked.add(nxt)
+                    dead = not valid_magic(nbuf.data)
+                    their_token = None if dead else (
+                        nview.right_peer_token if left
+                        else nview.left_peer_token)
+                    if dead or not tokens_match(their_token, our_token):
+                        self._unpin(nbuf)
+                        nbuf = None
+                        if left:
+                            healed = self._heal_left_link(page_no, buf,
+                                                          view)
+                        else:
+                            healed = self._heal_right_link(page_no, buf,
+                                                           view)
+                        if healed is None:
+                            return
+                        nxt = healed
+                        nbuf = self.file.pin(nxt)
+                        nview = NodeView(nbuf.data, self.page_size)
+                    already_checked = nxt in self._peer_path_checked
+                    tok = nview.sync_token
+                    if episode_token is None \
+                            and state.predates_last_crash(tok):
+                        episode_token = tok  # lazy bind, repair-time walks
+                    keep_going = (tokens_match(tok, episode_token)
+                                  if episode_token is not None else False) \
+                        or state.in_current_incarnation(tok)
+                    if not keep_going or already_checked:
+                        # do not mark a page we merely stop at: only pages
+                        # we walk *through* have both their links verified
+                        self._unpin(nbuf)
+                        return
+                    self._peer_path_checked.add(nxt)
+                except BaseException:
+                    # the finally below only owns buf; the peer frame is
+                    # ours until the rebind hands it over
+                    if nbuf is not None:
+                        self._unpin(nbuf)
+                    raise
                 if owned:
                     self._unpin(buf)
                 page_no, buf, view = nxt, nbuf, nview

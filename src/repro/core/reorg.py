@@ -357,8 +357,11 @@ class ReorgBLinkTree(BLinkTree):
                 # the source is lost too: repair it with its own expected
                 # range, then fall through to re-inspect it
                 sparent, s_bounds = self._source_parent_entry(parent, bounds)
-                self._repair_lost_child(sparent, source_no, sbuf, sview,
-                                        s_bounds, level, depth + 1)
+                try:
+                    self._repair_lost_child(sparent, source_no, sbuf, sview,
+                                            s_bounds, level, depth + 1)
+                finally:
+                    self._unpin(sparent.buffer)
             if sview.prev_n_keys and sview.new_page == child_no:
                 # case (c): the reorganized page's backup holds our keys
                 self._regenerate_sibling(source_no, sview, child_no,
@@ -390,26 +393,35 @@ class ReorgBLinkTree(BLinkTree):
         child's left neighbour (crossing into the left peer parent when the
         neighbour lives under a different internal page).
 
-        The cross-parent entry is synthetic: its buffer is pinned here and
-        registered for unpin by the caller's descent... it is pinned and
-        immediately unpinned because the repair only reads the view within
-        this call stack; the page stays cached in the pool.
+        The returned entry always owns one pin on its buffer — a second
+        pin on the parent's own frame in the same-parent case — and the
+        caller releases it once the repair returns.  (An earlier version
+        unpinned the cross-parent frame immediately and kept reading its
+        view on the assumption the pool would keep the page cached; the
+        pool is free to evict or recycle an unpinned frame, so that read
+        raced with eviction.)
         """
         if parent.slot > 0:
             from dataclasses import replace
             s_bounds = self._child_bounds(parent.view, parent.slot - 1,
                                           parent.bounds)
+            # second pin on the same frame: the caller unpins the entry's
+            # buffer unconditionally, whichever branch built it
+            self._pin(parent.page_no)
             return replace(parent, slot=parent.slot - 1), s_bounds
         left_no = parent.view.left_peer
         if left_no == INVALID_PAGE:
             raise RecoveryError(
                 f"page {parent.page_no}: lost source with no left parent")
         lbuf, lview = self._pin(left_no)
-        self._unpin(lbuf)  # keep the frame cached; see docstring
-        slot = lview.n_keys - 1
-        s_bounds = KeyBounds(lview.key_at(slot), bounds.lo)
-        entry = PathEntry(left_no, lbuf, lview, KeyBounds(MIN_KEY, bounds.lo),
-                          slot)
+        try:
+            slot = lview.n_keys - 1
+            s_bounds = KeyBounds(lview.key_at(slot), bounds.lo)
+            entry = PathEntry(left_no, lbuf, lview,
+                              KeyBounds(MIN_KEY, bounds.lo), slot)
+        except BaseException:
+            self._unpin(lbuf)
+            raise
         return entry, s_bounds
 
     def _rebuild_empty_subtree(self, child_no: int, child_buf: Buffer,
@@ -636,7 +648,13 @@ class ReorgBLinkTree(BLinkTree):
 
             # step (5): remap Pa onto P's disk location
             virtual = self.file.pool.allocate_virtual(pa_data)
-            new_buf = self.file.pool.remap(virtual, entry.buffer)
+            try:
+                new_buf = self.file.pool.remap(virtual, entry.buffer)
+            except BaseException:
+                # remap validates before it mutates; a refused remap must
+                # not strand the virtual frame's only pin
+                self.file.pool.unpin(virtual)
+                raise
             entry.buffer = new_buf
             entry.view = pa_view
             self.engine.sync_state.note_split()

@@ -253,8 +253,14 @@ class ShadowBLinkTree(BLinkTree):
 
         pa_no, pa_buf, pa_view = self._alloc(
             page_type, view.level, key_range=(p_bounds.lo, sep))
-        pb_no, pb_buf, pb_view = self._alloc(
-            page_type, view.level, key_range=(sep, p_bounds.hi))
+        try:
+            pb_no, pb_buf, pb_view = self._alloc(
+                page_type, view.level, key_range=(sep, p_bounds.hi))
+        except BaseException:
+            # Pa is already pinned; a failed Pb allocation (pool
+            # exhaustion) must not strand it
+            self._unpin(pa_buf)
+            raise
         try:
             pa_view.replace_items(left_blobs)
             pb_view.replace_items(right_blobs)

@@ -128,7 +128,7 @@ class _RNode:
         # view-layer wrapper over a caller-owned buffer; every caller
         # marks the frame dirty itself (_RNode never sees the pool)
         view = NodeView(self.buf, self.page_size)
-        view.init_page(page_type, level=level, sync_token=token)  # lint: disable=R003
+        view.init_page(page_type, level=level, sync_token=token)  # lint: disable=R003,R012
 
     def capacity(self) -> int:
         return (self.page_size - P.HEADER_SIZE) // ENTRY_SIZE
@@ -442,15 +442,22 @@ class RTreeIndex:
         path: list[tuple[int, object, _RNode, int]] = []  # (page, buf, node, slot)
         page_no = root
         buf = self.file.pin(page_no)
-        node = _RNode(buf.data, self.page_size)
         try:
+            node = _RNode(buf.data, self.page_size)
             while not node.is_leaf:
                 slot = self._choose_subtree(node, rect)
                 child_no = node.int_entry(slot)[1]
                 child_buf = self.file.pin(child_no)
-                child = self._check_child(node, page_no, slot, child_no,
-                                          child_buf, node.level - 1)
-                path.append((page_no, buf, node, slot))
+                try:
+                    child = self._check_child(node, page_no, slot, child_no,
+                                              child_buf, node.level - 1)
+                    path.append((page_no, buf, node, slot))
+                except BaseException:
+                    # the finally below releases buf and path, not the
+                    # child frame we just pinned (append fails, if at
+                    # all, without mutating the list)
+                    self.file.unpin(child_buf)
+                    raise
                 page_no, buf, node = child_no, child_buf, child
             # widen ancestors' MBRs in place (single-field updates)
             for anc_page, anc_buf, anc_node, anc_slot in path:

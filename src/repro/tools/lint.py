@@ -2,7 +2,11 @@
 
 Usage::
 
-    PYTHONPATH=src python -m repro.tools.lint src/ [--format=text|json]
+    PYTHONPATH=src python -m repro.tools.lint src/ [--format=text|json|sarif]
+
+Two engines run by default: the single-statement pattern rules
+(R001–R010) and the path-sensitive flow rules (R011–R015, which report a
+witness path with each finding).  Select one with ``--engine``.
 
 Exit status is 0 when every checked file is clean, 1 when violations (or
 parse failures) were found, 2 on usage errors.  Suppress individual
@@ -17,26 +21,46 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from ..analysis.lint import lint_paths
+from ..analysis.flow import flow_rules
+from ..analysis.lint import Rule, lint_paths
 from ..analysis.rules import all_rules
+
+
+def rules_for_engine(engine: str) -> list[Rule]:
+    """The rule catalogue for one engine selection, in rule-id order."""
+    rules: list[Rule] = []
+    if engine in ("pattern", "all"):
+        rules.extend(all_rules())
+    if engine in ("flow", "all"):
+        rules.extend(flow_rules())
+    return rules
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.lint",
-        description="AST lint for the storage-protocol coding rules "
-                    "(R001-R009).",
+        description="AST lint for the storage-protocol coding rules: "
+                    "pattern rules R001-R010 and path-sensitive flow "
+                    "rules R011-R015.",
     )
     parser.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to check (default: src)",
     )
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
+        "--format", choices=("text", "json", "sarif"), default="text",
         help="output format (default: text)",
     )
     parser.add_argument(
-        "--rules", default=None, metavar="R001,R003",
+        "--sarif", action="store_true",
+        help="shorthand for --format=sarif (CI code-scanning ingest)",
+    )
+    parser.add_argument(
+        "--engine", choices=("pattern", "flow", "all"), default="all",
+        help="which rule engine(s) to run (default: all)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="R001,R013",
         help="comma-separated subset of rule ids to run (default: all)",
     )
     parser.add_argument(
@@ -48,7 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    rules = all_rules()
+    rules = rules_for_engine(args.engine)
     if args.list_rules:
         for rule in rules:
             print(f"{rule.rule_id}  {rule.summary}")
@@ -66,8 +90,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
     report = lint_paths(args.paths, rules)
-    if args.format == "json":
+    out_format = "sarif" if args.sarif else args.format
+    if out_format == "json":
         print(report.render_json())
+    elif out_format == "sarif":
+        print(report.render_sarif(rules))
     else:
         print(report.render_text())
     return 0 if report.ok else 1

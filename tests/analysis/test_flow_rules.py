@@ -1,0 +1,415 @@
+"""Unit tests for the path-sensitive flow rules R011–R015: a violating
+and a conforming sample per rule, witness-path contents, pragma
+suppression, the shared-analysis cache, and the CLI surface
+(``--engine`` / ``--rules`` / ``--list-rules`` / ``--sarif``)."""
+
+import json
+import textwrap
+
+from repro.analysis.flow import analysis_for, flow_rules
+from repro.analysis.flow.rules import (
+    LatchAcrossBlockingPathRule,
+    NoteBeforeDirtyOnPathRule,
+    PinLeakOnPathRule,
+    UseAfterUnpinRule,
+    WriteWithoutDirtyOnPathRule,
+)
+from repro.analysis.lint import FileContext, lint_paths
+from repro.tools.lint import main as lint_main
+
+
+def run(tmp_path, source, rules, filename="mod.py"):
+    path = tmp_path / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], rules)
+
+
+def rule_ids(report):
+    return [v.rule_id for v in report.violations]
+
+
+def notes(violation):
+    return [note for _, note in violation.witness]
+
+
+# ---------------------------------------------------------------------------
+# R011 — pin leak on some path
+# ---------------------------------------------------------------------------
+
+def test_r011_flags_leak_on_one_branch_with_witness(tmp_path):
+    report = run(tmp_path, """
+        def bad(file, page, cond):
+            buf = file.pin(page)
+            if cond:
+                return None
+            file.unpin(buf)
+    """, [PinLeakOnPathRule()])
+    assert rule_ids(report) == ["R011"]
+    v = report.violations[0]
+    assert v.line == 3  # anchored at the pin site
+    # the witness shows the concrete path: pin, then the branch
+    # decision that leads to the leaking return
+    assert "pin 'buf'" in notes(v)
+    assert any("'cond' is True" in n for n in notes(v))
+    assert "unpin 'buf'" not in notes(v)
+
+
+def test_r011_flags_swallowing_handler_leg(tmp_path):
+    report = run(tmp_path, """
+        def bad(file, page, op):
+            buf = file.pin(page)
+            try:
+                op()
+            except ValueError:
+                return None
+            file.unpin(buf)
+    """, [PinLeakOnPathRule()])
+    # two leaking legs: the swallowed-ValueError return and the
+    # uncaught-exception edge — both anchored at the pin
+    assert set(rule_ids(report)) == {"R011"}
+    assert all(v.line == 3 for v in report.violations)
+
+
+def test_r011_accepts_finally_and_both_branch_release(tmp_path):
+    report = run(tmp_path, """
+        def good(file, page, op):
+            buf = file.pin(page)
+            try:
+                return op(buf)
+            finally:
+                file.unpin(buf)
+
+        def also_good(file, page, cond):
+            buf = file.pin(page)
+            if cond:
+                file.unpin(buf)
+                return None
+            file.unpin(buf)
+    """, [PinLeakOnPathRule()])
+    assert report.ok
+
+
+def test_r011_accepts_guarded_sentinel_release(tmp_path):
+    # the buf-is-None sentinel idiom: nullability refinement must prune
+    # the impossible arm of the guarded finally
+    report = run(tmp_path, """
+        def good(file, pages, op):
+            buf = None
+            try:
+                for page in pages:
+                    if buf is not None:
+                        file.unpin(buf)
+                        buf = None
+                    buf = file.pin(page)
+                    op(buf)
+            finally:
+                if buf is not None:
+                    file.unpin(buf)
+    """, [PinLeakOnPathRule()])
+    assert report.ok
+
+
+def test_r011_accepts_ownership_transfer(tmp_path):
+    report = run(tmp_path, """
+        def good(file, page):
+            buf = file.pin(page)
+            return buf
+
+        def also_good(file, page, path):
+            buf = file.pin(page)
+            path.append(buf)
+    """, [PinLeakOnPathRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R012 — mutation without dirty evidence on the path
+# ---------------------------------------------------------------------------
+
+def test_r012_flags_unmarked_branch_with_witness(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, buf, view, cond):
+            if cond:
+                view.insert_item(0, b"k")
+            else:
+                view.insert_item(1, b"k")
+                self.file.mark_dirty(buf)
+    """, [WriteWithoutDirtyOnPathRule()])
+    assert rule_ids(report) == ["R012"]
+    v = report.violations[0]
+    assert v.line == 4  # the mutation on the unmarked arm
+    assert any("mutation" in n for n in notes(v))
+    assert not any("dirty evidence" in n for n in notes(v))
+
+
+def test_r012_accepts_dirty_after_the_join(tmp_path):
+    report = run(tmp_path, """
+        def good(self, buf, view, cond):
+            if cond:
+                view.insert_item(0, b"k")
+            else:
+                view.insert_item(1, b"k")
+            self.file.mark_dirty(buf)
+    """, [WriteWithoutDirtyOnPathRule()])
+    assert report.ok
+
+
+def test_r012_exempts_the_page_layer(tmp_path):
+    report = run(tmp_path, """
+        def fine_here(self, view):
+            view.insert_item(0, b"k")
+    """, [WriteWithoutDirtyOnPathRule()], filename="core/nodeview.py")
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R013 — use after unpin on the current path
+# ---------------------------------------------------------------------------
+
+def test_r013_flags_read_after_release_with_witness(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, file, page):
+            buf = file.pin(page)
+            count = buf.data[0]
+            file.unpin(buf)
+            return buf.data[count]
+    """, [UseAfterUnpinRule()])
+    assert rule_ids(report) == ["R013"]
+    v = report.violations[0]
+    assert v.line == 6
+    assert "unpinned at line 5" in v.message
+    assert "unpin 'buf'" in notes(v)
+
+
+def test_r013_tracks_derived_views(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, file, page):
+            buf = file.pin(page)
+            view = NodeView(buf.data, 512)
+            file.unpin(buf)
+            return view.n_keys + self.count(view)
+    """, [UseAfterUnpinRule()])
+    assert rule_ids(report) == ["R013"]
+
+
+def test_r013_accepts_use_then_release(tmp_path):
+    report = run(tmp_path, """
+        def good(self, file, page):
+            buf = file.pin(page)
+            try:
+                return buf.data[0]
+            finally:
+                file.unpin(buf)
+    """, [UseAfterUnpinRule()])
+    assert report.ok
+
+
+def test_r013_repin_starts_a_fresh_fact(tmp_path):
+    report = run(tmp_path, """
+        def good(self, file, page, other):
+            buf = file.pin(page)
+            file.unpin(buf)
+            buf = file.pin(other)
+            try:
+                return buf.data[0]
+            finally:
+                file.unpin(buf)
+    """, [UseAfterUnpinRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R014 — latch across blocking call / latch leak
+# ---------------------------------------------------------------------------
+
+def test_r014_flags_blocking_call_under_read_latch(tmp_path):
+    report = run(tmp_path, """
+        def bad(self):
+            self.latch.acquire_read()
+            self.file.sync()
+            self.latch.release()
+    """, [LatchAcrossBlockingPathRule()])
+    assert rule_ids(report) == ["R014"]
+    v = report.violations[0]
+    assert any("blocking" in n for n in notes(v))
+
+
+def test_r014_flags_latch_leaked_on_early_return(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, cond):
+            self.latch.acquire_read()
+            if cond:
+                return None
+            self.latch.release()
+    """, [LatchAcrossBlockingPathRule()])
+    assert rule_ids(report) == ["R014"]
+
+
+def test_r014_accepts_release_before_block(tmp_path):
+    report = run(tmp_path, """
+        def good(self):
+            self.latch.acquire_read()
+            n = self.view.n_keys
+            self.latch.release()
+            self.file.sync()
+            return n
+    """, [LatchAcrossBlockingPathRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# R015 — cache note before the path's dirty-mark
+# ---------------------------------------------------------------------------
+
+def test_r015_flags_note_before_dirty_with_witness(tmp_path):
+    report = run(tmp_path, """
+        def bad(self, buf, view, key, tid):
+            view.insert_item(0, key)
+            self.cache.note_insert(key, tid)
+            self.file.mark_dirty(buf)
+    """, [NoteBeforeDirtyOnPathRule()])
+    assert rule_ids(report) == ["R015"]
+    v = report.violations[0]
+    assert v.line == 4
+    assert any("note_insert" in n for n in notes(v))
+
+
+def test_r015_accepts_dirty_then_note(tmp_path):
+    report = run(tmp_path, """
+        def good(self, buf, view, key, tid):
+            view.insert_item(0, key)
+            self.file.mark_dirty(buf)
+            self.cache.note_insert(key, tid)
+    """, [NoteBeforeDirtyOnPathRule()])
+    assert report.ok
+
+
+# ---------------------------------------------------------------------------
+# pragmas, registry, shared analysis
+# ---------------------------------------------------------------------------
+
+def test_line_pragma_suppresses_flow_finding(tmp_path):
+    report = run(tmp_path, """
+        def f(file, page, cond):
+            buf = file.pin(page)  # lint: disable=R011
+            if cond:
+                return None
+            file.unpin(buf)
+    """, [PinLeakOnPathRule()])
+    assert report.ok
+
+
+def test_file_pragma_suppresses_flow_findings(tmp_path):
+    report = run(tmp_path, """
+        # exercises leak paths on purpose
+        # lint: disable=R011
+
+        def f(file, page, cond):
+            buf = file.pin(page)
+            if cond:
+                return None
+            file.unpin(buf)
+    """, [PinLeakOnPathRule()])
+    assert report.ok
+
+
+def test_flow_registry_order_and_ids():
+    rules = flow_rules()
+    assert [r.rule_id for r in rules] == \
+        ["R011", "R012", "R013", "R014", "R015"]
+    assert all(r.summary for r in rules)
+
+
+def test_rules_share_one_analysis_per_file(tmp_path):
+    path = tmp_path / "mod.py"
+    source = "def f():\n    return 1\n"
+    path.write_text(source)
+    ctx = FileContext(path, "mod.py", source)
+    assert analysis_for(ctx) is analysis_for(ctx)
+
+
+# ---------------------------------------------------------------------------
+# CLI surface
+# ---------------------------------------------------------------------------
+
+LEAKY = """\
+def f(file, page, cond):
+    buf = file.pin(page)
+    if cond:
+        return None
+    file.unpin(buf)
+"""
+
+
+def test_cli_engine_selection(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LEAKY)
+    # the flow engine sees the per-path leak; R001's single-statement
+    # heuristic (pattern engine) has its own opinion, so pin the check
+    # to the rules each engine owns
+    assert lint_main([str(bad), "--engine=flow", "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {v["rule"] for v in payload["violations"]} == {"R011"}
+
+    assert lint_main([str(bad), "--engine=pattern", "--rules", "R002",
+                      "--format=json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["violations"] == []
+
+
+def test_cli_rules_filter_accepts_flow_ids(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LEAKY)
+    assert lint_main([str(bad), "--rules", "R013"]) == 0
+    capsys.readouterr()
+    assert lint_main([str(bad), "--rules", "R011"]) == 1
+    capsys.readouterr()
+    # a flow id is unknown to the pattern engine alone
+    assert lint_main([str(bad), "--engine=pattern",
+                      "--rules", "R011"]) == 2
+
+
+def test_cli_list_rules_covers_both_engines(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in ("R001", "R005", "R010", "R011", "R013", "R015"):
+        assert rule_id in out
+
+
+def test_cli_json_includes_witness(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LEAKY)
+    assert lint_main([str(bad), "--engine=flow", "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    (violation,) = payload["violations"]
+    steps = violation["witness"]
+    assert steps and all({"line", "note"} <= set(s) for s in steps)
+    assert any(s["note"] == "pin 'buf'" for s in steps)
+
+
+def test_cli_sarif_output(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LEAKY)
+    assert lint_main([str(bad), "--sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run_ = sarif["runs"][0]
+    driver = run_["tool"]["driver"]
+    assert {r["id"] for r in driver["rules"]} >= {"R001", "R011"}
+    results = run_["results"]
+    r011 = [r for r in results if r["ruleId"] == "R011"]
+    assert r011, results
+    loc = r011[0]["locations"][0]["physicalLocation"]
+    assert loc["region"]["startLine"] == 2
+    # the witness path rides along as relatedLocations
+    related = r011[0]["relatedLocations"]
+    assert any("pin 'buf'" == rl["message"]["text"] for rl in related)
+
+
+def test_cli_sarif_clean_run_has_no_results(tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f():\n    return 1\n")
+    assert lint_main([str(good), "--sarif"]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["runs"][0]["results"] == []

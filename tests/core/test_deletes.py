@@ -18,8 +18,8 @@ def reachable_pages(tree):
             continue
         pages.add(page_no)
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, tree.page_size)
         try:
+            view = NodeView(buf.data, tree.page_size)
             if not view.is_leaf:
                 stack.extend(view.child_at(i) for i in range(view.n_keys))
         finally:

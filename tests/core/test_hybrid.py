@@ -30,8 +30,8 @@ def test_item_layout_per_level(tree):
     while stack:
         page_no = stack.pop()
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
         try:
+            view = NodeView(buf.data, PAGE)
             seen_levels.setdefault(view.level, view.shadow_items)
             assert view.shadow_items == (view.level == 1)
             if not view.is_leaf:
@@ -49,25 +49,29 @@ def test_leaf_splits_are_shadow_style(tree):
     fill_tree(tree, range(60), sync_every=60)
     root_no = tree._root_page()
     rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
-    if rview.is_leaf:
+    try:
+        rview = NodeView(rbuf.data, PAGE)
+        root_is_leaf = rview.is_leaf
+    finally:
         tree.file.unpin(rbuf)
+    if root_is_leaf:
         pytest.skip("tree still a single leaf")
-    tree.file.unpin(rbuf)
 
     rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
-    slot = rview.n_keys - 1
-    old_child = rview.child_at(slot)
-    tree.file.unpin(rbuf)
+    try:
+        rview = NodeView(rbuf.data, PAGE)
+        slot = rview.n_keys - 1
+        old_child = rview.child_at(slot)
+    finally:
+        tree.file.unpin(rbuf)
     splits_before = tree.stats_splits
     i = 60
     while tree.stats_splits == splits_before:
         tree.insert(i, tid_for(i))
         i += 1
     rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
     try:
+        rview = NodeView(rbuf.data, PAGE)
         if rview.level == 1:  # root is the leaves' parent
             assert rview.prev_at(slot) == old_child
             assert rview.child_at(slot) != old_child
@@ -82,8 +86,8 @@ def test_internal_splits_are_reorg_style(tree):
     found_internal_backup = False
     for page_no in range(1, tree.file.n_pages):
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
         try:
+            view = NodeView(buf.data, PAGE)
             if not view.is_leaf and view.prev_n_keys:
                 found_internal_backup = True
             if view.is_leaf:

@@ -2,7 +2,8 @@
 
 # page-layer unit tests: raw NodeViews over bytearrays with hand-rolled
 # tokens — there is no buffer pool to dirty and no SyncState to consult
-# lint: disable=R003,R004
+# (R012 is the per-path form of the same dirty discipline)
+# lint: disable=R003,R004,R012
 
 import pytest
 

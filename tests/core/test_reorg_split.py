@@ -36,8 +36,8 @@ def split_once(tree, start=0):
 def find_backed_up_leaf(tree):
     for page_no in range(1, tree.file.n_pages):
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
         try:
+            view = NodeView(buf.data, PAGE)
             if view.is_leaf and view.prev_n_keys:
                 return page_no
         finally:
@@ -53,24 +53,25 @@ def test_figure2_structure_after_split(tree):
     pa_no = find_backed_up_leaf(tree)
     assert pa_no is not None
     buf = tree.file.pin(pa_no)
-    pa = NodeView(buf.data, PAGE)
     try:
+        pa = NodeView(buf.data, PAGE)
         assert pa.prev_n_keys == pa.n_keys + pa.backup_count
         assert pa.new_page != 0
         assert pa.live_is_low          # ascending: the new key went high
         pb_no = pa.new_page
         backup_keys = [I.item_key(b, 0) for b in pa.backup_items()]
         pbuf = tree.file.pin(pb_no)
-        pb = NodeView(pbuf.data, PAGE)
         try:
+            pb = NodeView(pbuf.data, PAGE)
             assert pb.prev_n_keys == 0
             # Pb holds the backup half plus the key that caused the split
             pb_keys = list(pb.keys())
             assert pb_keys[:len(backup_keys)] == backup_keys
             assert len(pb_keys) == len(backup_keys) + 1
+            pb_token = pb.sync_token
         finally:
             tree.file.unpin(pbuf)
-        assert tokens_match(pa.sync_token, pb.sync_token)
+        assert tokens_match(pa.sync_token, pb_token)
         assert tokens_match(pa.sync_token,
                             tree.engine.sync_state.token())
     finally:
@@ -98,9 +99,11 @@ def test_reclaim_case1_blocks_for_sync(tree):
     end = split_once(tree)
     pa_no = find_backed_up_leaf(tree)
     buf = tree.file.pin(pa_no)
-    pa = NodeView(buf.data, PAGE)
-    low_key = int.from_bytes(pa.min_key(), "big")
-    tree.file.unpin(buf)
+    try:
+        pa = NodeView(buf.data, PAGE)
+        low_key = int.from_bytes(pa.min_key(), "big")
+    finally:
+        tree.file.unpin(buf)
     syncs_before = tree.engine.stats_syncs
     assert tree.stats_sync_stalls == 0
     # deleting a key on Pa triggers the reclamation check
@@ -108,8 +111,8 @@ def test_reclaim_case1_blocks_for_sync(tree):
     assert tree.stats_sync_stalls == 1
     assert tree.engine.stats_syncs == syncs_before + 1
     buf = tree.file.pin(pa_no)
-    pa = NodeView(buf.data, PAGE)
     try:
+        pa = NodeView(buf.data, PAGE)
         assert pa.prev_n_keys == 0
         assert pa.new_page == 0
     finally:
@@ -143,8 +146,8 @@ def test_descending_split_puts_new_key_in_low_half(engine):
         i -= 1
     pa_no = find_backed_up_leaf(tree)
     buf = tree.file.pin(pa_no)
-    pa = NodeView(buf.data, PAGE)
     try:
+        pa = NodeView(buf.data, PAGE)
         assert not pa.live_is_low
         backup_keys = [I.item_key(b, 0) for b in pa.backup_items()]
         assert backup_keys[-1] < pa.min_key()
@@ -159,8 +162,8 @@ def test_no_prev_ptrs_anywhere(tree):
     while stack:
         page_no = stack.pop()
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
         try:
+            view = NodeView(buf.data, PAGE)
             assert not view.shadow_items
             if not view.is_leaf:
                 stack.extend(view.child_at(i) for i in range(view.n_keys))
@@ -187,8 +190,8 @@ def test_backup_space_reserved_at_insert_time(tree):
     # backup pending
     for page_no in range(1, tree.file.n_pages):
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
         try:
+            view = NodeView(buf.data, PAGE)
             if view.is_leaf and view.prev_n_keys == 0:
                 assert view.free_space() >= 0
         finally:

@@ -59,11 +59,13 @@ def test_split_after_sync_uses_old_page_as_prev(tree):
     fill_tree(tree, range(120), sync_every=30)
     root_no = tree._root_page()
     rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
-    # find the rightmost child (next ascending split target) and its slot
-    slot = rview.n_keys - 1
-    old_child = rview.child_at(slot)
-    tree.file.unpin(rbuf)
+    try:
+        rview = NodeView(rbuf.data, PAGE)
+        # the rightmost child (next ascending split target) and its slot
+        slot = rview.n_keys - 1
+        old_child = rview.child_at(slot)
+    finally:
+        tree.file.unpin(rbuf)
     pending_before = tree.file.freelist.pending
     splits_before = tree.stats_splits
 
@@ -73,8 +75,8 @@ def test_split_after_sync_uses_old_page_as_prev(tree):
         i += 1
 
     rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
     try:
+        rview = NodeView(rbuf.data, PAGE)
         # K1 (same slot) and the new K2 both shadow the old child
         assert rview.prev_at(slot) == old_child
         assert rview.prev_at(slot + 1) == old_child
@@ -135,13 +137,13 @@ def test_new_pages_carry_current_sync_token(tree):
         i += 1
     root_no = tree._root_page()
     rbuf = tree.file.pin(root_no)
-    rview = NodeView(rbuf.data, PAGE)
     try:
+        rview = NodeView(rbuf.data, PAGE)
         slot = rview.n_keys - 1
         for child_no in (rview.child_at(slot - 1), rview.child_at(slot)):
             cbuf = tree.file.pin(child_no)
-            cview = NodeView(cbuf.data, PAGE)
             try:
+                cview = NodeView(cbuf.data, PAGE)
                 if tokens_match(cview.sync_token, token):
                     break
             finally:
@@ -156,17 +158,19 @@ def test_root_split_moves_meta_pointer_with_prev(tree):
     from repro.core.meta import MetaView
     fill_tree(tree, range(60), sync_every=60)
     mbuf = tree.file.pin_meta()
-    meta = MetaView(mbuf.data, PAGE)
-    old_root = meta.root
-    tree.file.unpin(mbuf)
+    try:
+        meta = MetaView(mbuf.data, PAGE)
+        old_root = meta.root
+    finally:
+        tree.file.unpin(mbuf)
     root_splits_before = tree.stats_root_splits
     i = 60
     while tree.stats_root_splits == root_splits_before:
         tree.insert(i, tid_for(i))
         i += 1
     mbuf = tree.file.pin_meta()
-    meta = MetaView(mbuf.data, PAGE)
     try:
+        meta = MetaView(mbuf.data, PAGE)
         assert meta.root != old_root
         assert meta.prev_root == old_root
         assert tokens_match(meta.root_token,
@@ -184,8 +188,8 @@ def test_all_levels_hold_shadow_items(tree):
     while stack:
         page_no = stack.pop()
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, PAGE)
         try:
+            view = NodeView(buf.data, PAGE)
             if not view.is_leaf:
                 internal_seen += 1
                 assert view.shadow_items

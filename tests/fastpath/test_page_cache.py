@@ -1,6 +1,6 @@
 """Decoded-key directory: version keying, incremental maintenance,
 eviction, and equivalence with the byte-path search."""
-# lint: disable=R003 — these unit tests build NodeViews over standalone
+# lint: disable=R003,R012 — these unit tests build NodeViews over standalone
 # bytearrays (no pool frame, no sync), so there is nothing to mark dirty;
 # version bumps are applied by hand where a test needs them.
 

@@ -61,8 +61,8 @@ def find_split(tree) -> dict:
     file = tree.file
     for page_no in range(1, file.n_pages):
         buf = file.pin(page_no)
-        view = NodeView(buf.data, tree.page_size)
         try:
+            view = NodeView(buf.data, tree.page_size)
             if not tokens_match(view.sync_token, token) or not view.is_leaf:
                 continue
             if view.prev_n_keys:                    # reorg Pa
@@ -75,8 +75,8 @@ def find_split(tree) -> dict:
             file.unpin(buf)
     if info["pa"] is not None and info["pb"] is None:
         buf = file.pin(info["pa"])
-        view = NodeView(buf.data, tree.page_size)
         try:
+            view = NodeView(buf.data, tree.page_size)
             if tokens_match(view.sync_token, token) and view.right_peer:
                 info["pb"] = view.right_peer
         finally:
@@ -88,8 +88,8 @@ def find_split(tree) -> dict:
     while stack and target:
         page_no = stack.pop()
         buf = file.pin(page_no)
-        view = NodeView(buf.data, tree.page_size)
         try:
+            view = NodeView(buf.data, tree.page_size)
             if view.is_leaf:
                 continue
             children = [view.child_at(i) for i in range(view.n_keys)]

@@ -96,15 +96,15 @@ def test_pa_backup_contains_exactly_pbs_half():
     from repro.core.nodeview import NodeView
     engine, tree, committed, split = scenario()
     buf = tree.file.pin(split["pa"])
-    pa = NodeView(buf.data, tree.page_size)
     try:
+        pa = NodeView(buf.data, tree.page_size)
         backup_keys = [I.item_key(b, 0) for b in pa.backup_items()]
         assert pa.prev_n_keys == pa.n_keys + len(backup_keys)
     finally:
         tree.file.unpin(buf)
     pbuf = tree.file.pin(split["pb"])
-    pb = NodeView(pbuf.data, tree.page_size)
     try:
+        pb = NodeView(pbuf.data, tree.page_size)
         pb_keys = list(pb.keys())
         # Pb = backup half plus the split-triggering key
         assert set(backup_keys) <= set(pb_keys)

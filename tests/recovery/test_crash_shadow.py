@@ -33,8 +33,8 @@ def split_leaves(tree, split):
     fresh = []
     for page_no in range(1, tree.file.n_pages):
         buf = tree.file.pin(page_no)
-        view = NodeView(buf.data, tree.page_size)
         try:
+            view = NodeView(buf.data, tree.page_size)
             if view.is_leaf and tokens_match(view.sync_token, token) \
                     and view.n_keys:
                 fresh.append((view.min_key(), page_no))
