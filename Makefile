@@ -1,7 +1,7 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check flow hotpath lint races shard test test-sanitized
+.PHONY: check flow hotpath instantrestart lint races shard test test-sanitized
 
 check:
 	sh scripts/check.sh
@@ -24,6 +24,11 @@ shard:
 hotpath:
 	python -m pytest -x -q tests/fastpath
 	python -m repro.bench.hotpath --smoke --json > BENCH_hotpath.json
+
+instantrestart:
+	python -m pytest -x -q tests/shard/test_instant_restart.py
+	python -m repro.bench.instantrestart --smoke --json \
+		> BENCH_instant_restart.json
 
 test:
 	python -m pytest -x -q

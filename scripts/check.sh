@@ -87,6 +87,19 @@ print(f\"hot-path gate at {gate['n_keys']} keys: \"
       f\"(recovery spot check ok)\")
 "
 
+echo "==> instant-restart bench smoke (python -m repro.bench.instantrestart)"
+python -m repro.bench.instantrestart --smoke --json \
+    > BENCH_instant_restart.json
+python -c "
+import json
+doc = json.load(open('BENCH_instant_restart.json'))
+assert doc['ok'], doc
+camp = doc['recrash_campaign']
+print(f\"instant restart at 4 shards: ttfq {doc['ttfq_speedup_at_4']:.1f}x \"
+      f\"faster than stop-the-world; recrash campaign passed \"
+      f\"(victim {camp['victim']}, fsck errors {camp['fsck_errors']})\")
+"
+
 echo "==> tier-1 suite under the runtime sanitizer (REPRO_SANITIZE=1)"
 REPRO_SANITIZE=1 python -m pytest -x -q
 

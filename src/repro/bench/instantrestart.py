@@ -1,0 +1,363 @@
+"""Instant restart: time-to-first-query vs the stop-the-world sweep.
+
+The paper's restart claim is that an index needs no log replay — reopen
+and let first-use checks repair each page on touch.  The stop-the-world
+orchestrator pass forfeits that claim operationally: it drives *every*
+repair before a shard serves a single request, so restart latency grows
+with index size again.  This bench measures the payoff of admitting
+immediately instead (Sauer & Härder's single-page instant-recovery idea
+applied to our sweep):
+
+* **stop-the-world**: full parallel recovery (reopen + drive repairs +
+  verify sync), then the first query.  Time-to-first-query is the whole
+  pass; time-to-full-heal equals it by construction.
+* **instant**: ``admit_immediately`` reopens every crashed shard cold
+  (control + meta page) and serves at once; the same zipfian traffic
+  then runs through a :class:`~repro.shard.ShardWorkerPool` whose owner
+  threads interleave background heal units between foreground ops,
+  hottest subtrees first.  Time-to-first-query is the cold reopen plus
+  one lookup; time-to-full-heal is when the last shard's sweep reaches
+  its fixpoint, validates, and syncs.
+
+Both modes recover identical crashed disk snapshots with simulated
+per-page I/O latency (the sleeps release the GIL, so overlap behaves
+like real disks).  The smoke gate asserts instant restart answers its
+first query >=5x sooner than stop-the-world at 4 shards, and runs a
+**crash-during-background-heal campaign**: one shard is re-crashed while
+its heal is still draining, siblings keep healing, a second admit pass
+heals the victim, and the final group fscks with zero errors.
+
+Usage::
+
+    python -m repro.bench.instantrestart                 # full campaign
+    python -m repro.bench.instantrestart --smoke --json  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..errors import CrashError
+from ..shard import RecoveryOrchestrator, ShardedEngine, ShardWorkerPool
+from ..storage import CrashOnNthSync
+from ..tools.fsck import fsck_group
+from ..workload.generators import zipfian
+from .shardrecovery import (INDEX, _restore, _set_latency, _snapshot,
+                            build_crashed_group)
+
+#: Zipf skew for the live traffic (YCSB-style default).
+THETA = 0.99
+
+
+@dataclass
+class RestartResult:
+    """One restart mode at one shard count (best of *reps*)."""
+
+    mode: str
+    time_to_first_query: float = 0.0
+    time_to_full_heal: float = 0.0
+    recover_wall_seconds: float = 0.0
+    traffic_ops: int = 0
+    traffic_seconds: float = 0.0
+    ops_during_heal: int = 0        # instant mode only
+    heal_units: int = 0             # instant mode only
+    repairs: int = 0
+    reps_ttfq: list[float] = field(default_factory=list)
+
+
+@dataclass
+class RestartPoint:
+    n_shards: int
+    committed_keys: int
+    stop_the_world: RestartResult | None = None
+    instant: RestartResult | None = None
+
+    @property
+    def ttfq_speedup(self) -> float:
+        if not self.stop_the_world or not self.instant or \
+                not self.instant.time_to_first_query:
+            return 0.0
+        return (self.stop_the_world.time_to_first_query
+                / self.instant.time_to_first_query)
+
+
+def _verify_committed(tree, committed: int, mode: str) -> None:
+    seen = {k for k, _ in tree.range_scan()}
+    missing = [k for k in range(committed) if k not in seen]
+    if missing:  # pragma: no cover - guard
+        raise SystemExit(f"{mode} restart lost committed keys "
+                         f"{missing[:5]}")
+
+
+def measure_stop_the_world(group: ShardedEngine, snaps, *, committed: int,
+                           traffic: list[int], reps: int) -> RestartResult:
+    out = RestartResult(mode="stop_the_world")
+    for _rep in range(reps):
+        _restore(group, snaps)
+        orchestrator = RecoveryOrchestrator()
+        start = time.perf_counter()
+        recovered, report = orchestrator.recover(group, INDEX)
+        if not report.ok:  # pragma: no cover - guard
+            raise SystemExit(f"stop-the-world recovery failed: "
+                             f"{report.failed_shards()}")
+        tree = recovered.open_tree(INDEX)
+        tree.lookup(traffic[0])
+        ttfq = time.perf_counter() - start
+        out.reps_ttfq.append(ttfq)
+        if len(out.reps_ttfq) > 1 and ttfq >= out.time_to_first_query:
+            continue
+        out.time_to_first_query = ttfq
+        out.time_to_full_heal = ttfq     # healed before the first query
+        out.recover_wall_seconds = report.wall_seconds
+        out.repairs = report.total_repairs
+        # serve the same traffic the instant mode serves, post-recovery
+        t0 = time.perf_counter()
+        for key in traffic:
+            tree.lookup(key)
+        out.traffic_seconds = time.perf_counter() - t0
+        out.traffic_ops = len(traffic)
+        _verify_committed(tree, committed, "stop-the-world")
+    return out
+
+
+def measure_instant(group: ShardedEngine, snaps, *, committed: int,
+                    traffic: list[int], reps: int,
+                    batch: int = 64) -> RestartResult:
+    out = RestartResult(mode="instant")
+    for _rep in range(reps):
+        _restore(group, snaps)
+        orchestrator = RecoveryOrchestrator(admit_immediately=True)
+        start = time.perf_counter()
+        recovered, report = orchestrator.recover(group, INDEX)
+        if not report.ok or report.heal is None:  # pragma: no cover
+            raise SystemExit(f"admission failed: "
+                             f"{report.failed_shards()}")
+        heal = report.heal
+        tree = heal.tree
+        tree.lookup(traffic[0])
+        ttfq = time.perf_counter() - start
+        # live zipfian traffic through the worker pool; owner threads
+        # interleave heal units between foreground lookups
+        ops_during_heal = 0
+        t0 = time.perf_counter()
+        with ShardWorkerPool(tree) as pool:
+            stream = iter(traffic)
+            while not heal.done:
+                ops = [("lookup", k)
+                       for k in itertools.islice(stream, batch)]
+                if not ops:
+                    break
+                bat = pool.run_batch(ops)
+                if bat.crashed_shards:  # pragma: no cover - guard
+                    raise SystemExit(f"instant restart crashed shards "
+                                     f"{bat.crashed_shards}")
+                ops_during_heal += len(ops)
+            # traffic may dry up before the cold tail heals: drain the
+            # remainder on the same owner threads
+            pool.run_heal()
+            traffic_rest = list(stream)
+            t1 = time.perf_counter()
+            for key in traffic_rest:
+                tree.lookup(key)
+            traffic_seconds = (t1 - t0) + (time.perf_counter() - t1)
+        ttfh = heal.time_to_full_heal()
+        if ttfh is None:  # pragma: no cover - guard
+            raise SystemExit(f"heal did not complete: {heal.progress()}")
+        out.reps_ttfq.append(ttfq)
+        if len(out.reps_ttfq) > 1 and ttfq >= out.time_to_first_query:
+            continue
+        out.time_to_first_query = ttfq
+        out.time_to_full_heal = ttfh
+        out.recover_wall_seconds = report.wall_seconds
+        out.ops_during_heal = ops_during_heal
+        out.traffic_ops = len(traffic)
+        out.traffic_seconds = traffic_seconds
+        progress = heal.progress()
+        out.heal_units = sum(p["units_done"] for p in progress.values())
+        out.repairs = sum(p["repairs"] for p in progress.values())
+        _verify_committed(tree, committed, "instant")
+        errors = fsck_group(recovered).errors
+        if errors:  # pragma: no cover - guard
+            raise SystemExit(f"post-heal fsck found {errors} error(s)")
+    return out
+
+
+def run_recrash_campaign(n_shards: int, *, total_keys: int,
+                         page_size: int, seed: int, read_latency: float,
+                         write_latency: float) -> dict:
+    """Crash one shard *again* mid-background-heal; prove isolation and
+    eventual full heal on retry."""
+    group = build_crashed_group(n_shards, total_keys=total_keys,
+                                page_size=page_size, seed=seed)
+    _set_latency(group, read_latency, write_latency)
+    recovered, report = RecoveryOrchestrator(
+        admit_immediately=True).recover(group, INDEX)
+    heal = report.heal
+    victim = 0
+    # the victim's heal-completion sync dies: a re-crash while the
+    # background heal is still in flight
+    recovered.shard(victim).crash_policy = CrashOnNthSync(1, keep=0)
+    crashed: list[int] = []
+    for index in list(heal.shard_indexes):
+        try:
+            heal.drain(index)
+        except CrashError:
+            crashed.append(index)
+    siblings_healed = [i for i in heal.shard_indexes
+                       if i != victim and i not in heal.failed_shards()]
+    retry_group, retry = RecoveryOrchestrator(
+        admit_immediately=True).recover(recovered, INDEX)
+    retry.heal.drain()
+    errors = fsck_group(retry_group).errors
+    seen = {k for k, _ in retry.heal.tree.range_scan()}
+    missing = [k for k in range(total_keys) if k not in seen]
+    passed = (crashed == [victim]
+              and heal.failed_shards() == [victim]
+              and len(siblings_healed) == n_shards - 1
+              and retry.ok and retry.heal.healed
+              and errors == 0 and not missing)
+    return {
+        "n_shards": n_shards,
+        "victim": victim,
+        "crashed_mid_heal": crashed,
+        "siblings_healed": siblings_healed,
+        "retry_healed": retry.heal.healed,
+        "fsck_errors": errors,
+        "missing_committed_keys": missing[:5],
+        "passed": passed,
+    }
+
+
+def run_points(shard_counts, *, total_keys: int, page_size: int,
+               seed: int, read_latency: float, write_latency: float,
+               reps: int, traffic_ops: int,
+               verbose: bool = True) -> list[RestartPoint]:
+    points = []
+    for n in shard_counts:
+        group = build_crashed_group(n, total_keys=total_keys,
+                                    page_size=page_size, seed=seed)
+        _set_latency(group, read_latency, write_latency)
+        snaps = _snapshot(group)
+        traffic = zipfian(traffic_ops, total_keys, theta=THETA,
+                          seed=seed + n)
+        point = RestartPoint(n_shards=n, committed_keys=total_keys)
+        point.stop_the_world = measure_stop_the_world(
+            group, snaps, committed=total_keys, traffic=traffic,
+            reps=reps)
+        point.instant = measure_instant(
+            group, snaps, committed=total_keys, traffic=traffic,
+            reps=reps)
+        points.append(point)
+        if verbose:
+            stw, ins = point.stop_the_world, point.instant
+            print(f"{n:>2} shard(s): ttfq stop-the-world "
+                  f"{stw.time_to_first_query * 1e3:9.2f}ms  instant "
+                  f"{ins.time_to_first_query * 1e3:7.2f}ms  "
+                  f"({point.ttfq_speedup:6.1f}x)  full heal "
+                  f"{ins.time_to_full_heal * 1e3:8.2f}ms",
+                  file=sys.stderr)
+    return points
+
+
+def to_document(points: list[RestartPoint], campaign: dict,
+                config: dict) -> dict:
+    at4 = [p.ttfq_speedup for p in points if p.n_shards == 4]
+    speedup_at_4 = at4[0] if at4 else 0.0
+    return {
+        "bench": "instant_restart",
+        "config": config,
+        "results": [
+            {
+                "n_shards": p.n_shards,
+                "committed_keys": p.committed_keys,
+                "ttfq_speedup": p.ttfq_speedup,
+                "stop_the_world": asdict(p.stop_the_world)
+                if p.stop_the_world else None,
+                "instant": asdict(p.instant) if p.instant else None,
+            }
+            for p in points
+        ],
+        "recrash_campaign": campaign,
+        "ttfq_speedup_at_4": speedup_at_4,
+        "ok": bool(speedup_at_4 >= 5.0 and campaign["passed"]),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.instantrestart", description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer keys, shard count 4, "
+                             "lower simulated latency)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document on stdout (progress "
+                             "goes to stderr)")
+    parser.add_argument("--shards", default=None,
+                        help="comma-separated shard counts "
+                             "(default: 1,2,4,8; smoke: 4)")
+    parser.add_argument("--keys", type=int, default=None,
+                        help="total committed keys (default: 4000; "
+                             "smoke: 1000)")
+    parser.add_argument("--traffic", type=int, default=None,
+                        help="zipfian lookups served per mode "
+                             "(default: 2000; smoke: 600)")
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--reps", type=int, default=None,
+                        help="repetitions per mode, best ttfq kept "
+                             "(default: 3; smoke: 2)")
+    parser.add_argument("--read-latency", type=float, default=None,
+                        help="simulated seconds per page read during the "
+                             "measured phase (default: 0.002; smoke: "
+                             "0.001)")
+    parser.add_argument("--write-latency", type=float, default=None,
+                        help="simulated seconds per page write "
+                             "(default: half the read latency)")
+    args = parser.parse_args(argv)
+
+    shard_counts = [int(s) for s in
+                    (args.shards or ("4" if args.smoke
+                                     else "1,2,4,8")).split(",")]
+    total_keys = args.keys or (1000 if args.smoke else 4000)
+    traffic_ops = args.traffic or (600 if args.smoke else 2000)
+    reps = args.reps or (2 if args.smoke else 3)
+    read_latency = (args.read_latency if args.read_latency is not None
+                    else (0.001 if args.smoke else 0.002))
+    write_latency = (args.write_latency if args.write_latency is not None
+                     else read_latency / 2)
+
+    config = {
+        "smoke": args.smoke, "shard_counts": shard_counts,
+        "total_keys": total_keys, "traffic_ops": traffic_ops,
+        "page_size": args.page_size, "seed": args.seed, "reps": reps,
+        "theta": THETA,
+        "read_latency": read_latency, "write_latency": write_latency,
+    }
+    points = run_points(shard_counts, total_keys=total_keys,
+                        page_size=args.page_size, seed=args.seed,
+                        read_latency=read_latency,
+                        write_latency=write_latency, reps=reps,
+                        traffic_ops=traffic_ops)
+    campaign = run_recrash_campaign(
+        max(shard_counts), total_keys=total_keys,
+        page_size=args.page_size, seed=args.seed + 1,
+        read_latency=read_latency, write_latency=write_latency)
+    doc = to_document(points, campaign, config)
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"\nre-crash mid-heal campaign passed: "
+              f"{campaign['passed']}")
+        print(f"instant restart beats stop-the-world ttfq by >=5x at 4 "
+              f"shards: {doc['ok']}")
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

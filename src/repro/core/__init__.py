@@ -12,7 +12,7 @@ All four share the same API (``create``/``open``/``insert``/``lookup``/
 :class:`~repro.storage.StorageEngine`.
 """
 
-from .btree_base import BLinkTree, PathEntry
+from .btree_base import BLinkTree, PathEntry, RepairSweep
 from .detect import Action, DetectionReport, Kind, RepairLog
 from .hybrid import HybridBLinkTree
 from .items import (
@@ -95,6 +95,7 @@ __all__ = [
     "PathEntry",
     "ReorgBLinkTree",
     "RepairLog",
+    "RepairSweep",
     "ShadowBLinkTree",
     "StringCodec",
     "TID",

@@ -31,6 +31,7 @@ actually found on the child.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Iterator
@@ -1342,17 +1343,37 @@ class BLinkTree:
         checks of Section 3.5.1).  Repairs can restructure the tree, so
         the sweep repeats until a pass adds no new repair reports.
         Returns the number of keys visible to the final scan.
+
+        This is the stop-the-world form: it runs a :class:`RepairSweep`
+        to completion in one call.  Instant restart instead steps the
+        same sweep incrementally between foreground operations (the
+        shard heal queue), because first-use checks already make every
+        page a query touches safe.
         """
-        keys_seen = 0
-        for _ in range(4):
-            before = len(self.repair_log)
-            if self.VERIFIES:
-                for key in self._separator_keys():
-                    self._unpin_path(self._descend(key))
-            keys_seen = sum(1 for _ in self.range_scan())
-            if len(self.repair_log) == before:
-                break
-        return keys_seen
+        sweep = self.repair_sweep()
+        while not sweep.done:
+            sweep.step(max_units=_SWEEP_DRAIN_CHUNK)
+        return sweep.keys_seen
+
+    def repair_sweep(self) -> "RepairSweep":
+        """A resumable, subtree-granular handle over the repair drive."""
+        return RepairSweep(self)
+
+    def repair_units(self) -> list[bytes]:
+        """The chunkable units of one repair pass: every separator key
+        any durable internal page names (one unit = one descent, which
+        fires :meth:`_check_child` down that subtree's spine).  Trees
+        that do not verify links have nothing to descend for — their
+        only repair surface is the scan the sweep runs at pass end."""
+        return self._separator_keys() if self.VERIFIES else []
+
+    def heal_unit(self, key: bytes) -> int:
+        """Run one heal unit: descend toward *key*, firing the first-use
+        detectors on that path.  Returns the repairs it triggered."""
+        before = len(self.repair_log)
+        if self.VERIFIES:
+            self._unpin_path(self._descend(key))
+        return len(self.repair_log) - before
 
     def _separator_keys(self) -> list[bytes]:
         """Every distinct separator key on any internal page in the
@@ -1518,3 +1539,148 @@ class BLinkTree:
             finally:
                 self._unpin(buf)
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# resumable repair drive
+# ----------------------------------------------------------------------
+
+#: Units drained per :meth:`RepairSweep.step` when a caller wants the
+#: whole sweep (``drive_repairs``) rather than interleaved chunks.
+_SWEEP_DRAIN_CHUNK = 64
+
+
+class RepairSweep:
+    """Resumable, subtree-granular form of :meth:`BLinkTree.drive_repairs`.
+
+    The stop-the-world drive descends toward every separator key and then
+    scans — a restart stall proportional to the whole index.  Instant
+    restart needs the same work *preemptible*: the sweep exposes it as a
+    queue of units (one unit = one separator-key descent) that can be
+    stepped a few at a time between foreground operations, with two extra
+    properties:
+
+    * **lazy seeding** — enumerating the units reads every page of the
+      file, which is most of the sweep's cost, so it is deferred to the
+      first :meth:`step`.  Admission (reopen + open tree) stays O(1) in
+      index size, which is the paper's restart-cost claim.
+    * **access-frequency priority** — :meth:`promote` records a
+      foreground access by encoded key; the unit whose subtree covers
+      that key heals before colder units.  Under zipfian traffic the hot
+      subtrees (the ones first-use checks would be repairing anyway) are
+      verified first, so the window in which a query can hit an
+      unhealed page shrinks fastest where it matters.
+
+    Repairs restructure the tree, so when a pass's units drain the sweep
+    scans the leaf chain (firing the peer-link checks) and re-seeds for
+    another pass until one adds no new repair reports, up to
+    ``MAX_PASSES`` — the same fixpoint :meth:`~BLinkTree.drive_repairs`
+    always ran, just sliced.
+    """
+
+    MAX_PASSES = 4
+
+    def __init__(self, tree: BLinkTree):
+        self.tree = tree
+        self.done = False
+        self.passes = 0
+        self.units_done = 0
+        self.keys_seen = 0
+        self._seeded = False
+        self._pass_repairs_base = 0
+        #: units not yet healed this pass, ascending key order
+        self._pending: list[bytes] = []
+        #: unit key -> foreground hits recorded against its subtree
+        self._hits: dict[bytes, int] = {}
+        #: all units of the current pass, sorted (for cover lookups)
+        self._unit_keys: list[bytes] = []
+        #: accesses recorded before the first pass was seeded
+        self._early_hits: dict[bytes, int] = {}
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def seeded(self) -> bool:
+        return self._seeded
+
+    def pending(self) -> int:
+        """Units left in the current pass (0 before seeding or when
+        only the pass-end scan remains)."""
+        return len(self._pending)
+
+    # -- priority ------------------------------------------------------
+
+    def promote(self, encoded_key: bytes) -> None:
+        """Record a foreground access to *encoded_key*: the unit whose
+        subtree covers it moves ahead of colder units."""
+        if self.done:
+            return
+        if not self._seeded:
+            self._early_hits[encoded_key] = \
+                self._early_hits.get(encoded_key, 0) + 1
+            return
+        unit = self._covering_unit(encoded_key)
+        if unit is not None and unit in self._hits:
+            self._hits[unit] += 1
+
+    def _covering_unit(self, encoded_key: bytes) -> bytes | None:
+        """The greatest unit key <= *encoded_key* (units include the
+        minus-infinity sentinel, so a covering unit always exists when
+        any units do)."""
+        if not self._unit_keys:
+            return None
+        i = bisect_right(self._unit_keys, encoded_key) - 1
+        return self._unit_keys[i] if i >= 0 else None
+
+    # -- the sweep -----------------------------------------------------
+
+    def step(self, max_units: int = 1) -> int:
+        """Run up to *max_units* heal units (a pass-end scan counts as
+        one unit).  Returns the units actually run; 0 once done."""
+        did = 0
+        while did < max_units and not self.done:
+            if not self._seeded:
+                self._seed_pass()
+            if self._pending:
+                self.tree.heal_unit(self._pop_hottest())
+                self.units_done += 1
+            else:
+                self._finish_pass()
+            did += 1
+        return did
+
+    def _seed_pass(self) -> None:
+        self.passes += 1
+        self._pass_repairs_base = len(self.tree.repair_log)
+        units = self.tree.repair_units()
+        self._unit_keys = list(units)
+        self._pending = list(units)
+        # carry heat across passes (and in the earliest accesses made
+        # before seeding) so hot subtrees stay first after a re-seed
+        old = self._hits
+        self._hits = {u: old.get(u, 0) for u in units}
+        if self._early_hits:
+            for key, count in self._early_hits.items():
+                unit = self._covering_unit(key)
+                if unit is not None:
+                    self._hits[unit] += count
+            self._early_hits.clear()
+        self._seeded = True
+
+    def _pop_hottest(self) -> bytes:
+        """Hottest pending unit; ties break toward the smallest key so a
+        cold sweep degenerates to the deterministic ascending order the
+        stop-the-world drive used."""
+        best = max(self._pending, key=lambda u: (self._hits.get(u, 0),))
+        if self._hits.get(best, 0) == 0:
+            best = self._pending[0]
+        self._pending.remove(best)
+        return best
+
+    def _finish_pass(self) -> None:
+        self.keys_seen = sum(1 for _ in self.tree.range_scan())
+        if len(self.tree.repair_log) == self._pass_repairs_base \
+                or self.passes >= self.MAX_PASSES:
+            self.done = True
+        else:
+            self._seed_pass()

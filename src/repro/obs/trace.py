@@ -37,6 +37,9 @@ EVENT_TYPES: frozenset[str] = frozenset({
     # sync window, one shard's crash inside the group, and the completion
     # (or failure) of one shard's recovery under the orchestrator
     "group_sync", "shard_crash", "shard_recovery",
+    # instant restart: background-heal progress for one admitted shard
+    # (periodic unit-count checkpoints, completion, or mid-heal failure)
+    "heal_progress",
 })
 
 DEFAULT_CAPACITY = 4096

@@ -14,6 +14,7 @@ embarrassingly parallel.
 """
 
 from .engine import ShardedEngine, ShardedTree
+from .heal import HealQueue
 from .recovery import (GroupRecoveryReport, RecoveryOrchestrator,
                        ShardRecoveryReport, recover_group)
 from .router import ShardRouter
@@ -26,6 +27,7 @@ __all__ = [
     "ShardedTree",
     "GroupSyncScheduler",
     "DEFAULT_DIRTY_THRESHOLD",
+    "HealQueue",
     "ShardWorkerPool",
     "OpResult",
     "BatchReport",

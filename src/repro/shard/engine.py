@@ -170,6 +170,16 @@ class ShardedTree:
         self.trees = list(trees)
         self.codec = codec
         self.router = group.router
+        #: background heal queue feeding on this handle's accesses
+        #: (instant restart); every routed operation promotes the heal
+        #: unit covering its key, so zipfian-hot subtrees heal first
+        self.heal = None
+
+    def attach_heal(self, queue) -> None:
+        """Feed this handle's routed accesses into *queue*'s per-shard
+        heal priorities (the recovery orchestrator's admit pass calls
+        this on the serving handle it returns)."""
+        self.heal = queue
 
     # -- routing -----------------------------------------------------------
 
@@ -177,7 +187,11 @@ class ShardedTree:
         return self.router.shard_of(self.codec.encode(value))
 
     def _tree_for(self, value: object):
-        return self.live_tree(self.shard_of(value))
+        encoded = self.codec.encode(value)
+        index = self.router.shard_of(encoded)
+        if self.heal is not None:
+            self.heal.note_access(index, encoded)
+        return self.live_tree(index)
 
     def live_tree(self, index: int):
         """Shard *index*'s tree handle, refusing dead shards.  The
@@ -207,7 +221,11 @@ class ShardedTree:
         tree amortize one descent per leaf.  Returns the number stored."""
         groups: dict[int, list] = {}
         for value, tid in pairs:
-            groups.setdefault(self.shard_of(value), []).append((value, tid))
+            encoded = self.codec.encode(value)
+            index = self.router.shard_of(encoded)
+            if self.heal is not None:
+                self.heal.note_access(index, encoded)
+            groups.setdefault(index, []).append((value, tid))
         done = 0
         for index, batch in groups.items():
             done += self.live_tree(index).insert_many(batch)
@@ -217,7 +235,11 @@ class ShardedTree:
         """Batched twin of :meth:`insert_many` for deletes."""
         groups: dict[int, list] = {}
         for value in values:
-            groups.setdefault(self.shard_of(value), []).append(value)
+            encoded = self.codec.encode(value)
+            index = self.router.shard_of(encoded)
+            if self.heal is not None:
+                self.heal.note_access(index, encoded)
+            groups.setdefault(index, []).append(value)
         done = 0
         for index, batch in groups.items():
             done += self.live_tree(index).delete_many(batch)

@@ -16,6 +16,13 @@ drives each one's first-use repairs to completion:
    is hot and verified rather than nominally open;
 5. sync, making the repairs durable.
 
+Step 4 is the stop-the-world sweep — and the paper's whole point is that
+it is optional.  With ``admit_immediately=True`` the orchestrator stops
+after step 3: the shard rejoins the group *cold* (time-to-first-query is
+the reopen cost, independent of index size) and the sweep is handed to a
+background :class:`~repro.shard.heal.HealQueue` that steps it between
+foreground operations, hottest subtrees first.
+
 A shard that crashes again during its own recovery is isolated: its
 report carries the error, the orchestrator's pool finishes every sibling,
 and the returned group keeps the dead engine so a later pass can retry.
@@ -34,7 +41,7 @@ from typing import Callable
 from ..errors import CrashError, ReproError
 from ..obs import get_registry, get_trace
 from ..storage.engine import StorageEngine
-from .engine import ShardedEngine
+from .engine import ShardedEngine, ShardedTree
 
 
 @dataclass
@@ -51,6 +58,7 @@ class ShardRecoveryReport:
     repair_seconds: dict = field(default_factory=dict)
     keys_seen: int = 0
     fsck_errors: int | None = None    # None when fsck was skipped
+    mode: str = "sweep"               # "sweep" or "admit"
 
 
 @dataclass
@@ -60,6 +68,12 @@ class GroupRecoveryReport:
     shards: list[ShardRecoveryReport]
     wall_seconds: float = 0.0
     max_workers: int = 1
+    #: background heal state when the pass ran with ``admit_immediately``
+    #: (repairs still pending); None for stop-the-world passes.  Serve
+    #: traffic through ``heal.tree`` so foreground accesses feed the
+    #: heal priorities and the repair log the heal drives is the one the
+    #: serving handles observe.
+    heal: object | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -71,6 +85,15 @@ class GroupRecoveryReport:
     @property
     def total_repairs(self) -> int:
         return sum(sum(r.repairs.values()) for r in self.shards)
+
+    @property
+    def time_to_first_query(self) -> float:
+        """When the group could first serve: the whole pass for a
+        stop-the-world sweep, the slowest shard's cold reopen for an
+        admit pass (siblings reopen concurrently)."""
+        if self.heal is None:
+            return self.wall_seconds
+        return max((r.restart_seconds for r in self.shards), default=0.0)
 
 
 class RecoveryOrchestrator:
@@ -84,24 +107,35 @@ class RecoveryOrchestrator:
         worker per shard.
     fsck_first:
         Run the read-only verifier on each reopened shard before driving
-        repairs, recording its error count in the report.
+        repairs, recording its error count in the report.  Ignored under
+        ``admit_immediately`` — a full read-only scan before admission
+        would reintroduce exactly the restart stall admission avoids.
     on_reopen:
         Optional ``(shard_index, engine) -> None`` hook called right
         after a shard's engine is reopened, before any repair work — the
         seam tests use to install crash policies on recovering shards.
+    admit_immediately:
+        Instant restart: reopen each crashed shard cold and put it back
+        in service without driving a single repair — the first-use
+        checks make every page a query touches safe — and hand the
+        deferred sweep to a background :class:`~repro.shard.heal.HealQueue`
+        (``report.heal``), prioritized by foreground access frequency.
     """
 
     def __init__(self, *, max_workers: int | None = None,
                  fsck_first: bool = False,
                  on_reopen: Callable[[int, StorageEngine], None]
-                 | None = None):
+                 | None = None,
+                 admit_immediately: bool = False):
         self.max_workers = max_workers
         self.fsck_first = fsck_first
         self.on_reopen = on_reopen
+        self.admit_immediately = admit_immediately
         reg = get_registry()
         self._m_recovered = reg.counter("shard.recovery.recovered")
         self._m_failed = reg.counter("shard.recovery.failed")
         self._h_restart = reg.histogram("shard.recovery.restart_seconds")
+        self._h_ttfq = reg.histogram("shard.recovery.ttfq_seconds")
 
     # -- public API --------------------------------------------------------
 
@@ -112,35 +146,68 @@ class RecoveryOrchestrator:
         Returns the post-recovery group (recovered engines substituted in
         place; failed shards keep their dead engines) and the report.
         Live shards pass through untouched.
+
+        Under ``admit_immediately`` the pass returns as soon as every
+        crashed shard is reopened cold: the group serves traffic right
+        away, ``report.heal`` holds the background queue still driving
+        the repairs, and ``report.heal.tree`` is the serving handle
+        whose accesses feed the heal priorities.
         """
         workers = self.max_workers or max(len(group), 1)
         started = perf_counter()
         engines: list[StorageEngine] = list(group.shards)
         reports: list[ShardRecoveryReport | None] = [None] * len(group)
+        admitted_trees: dict[int, object] = {}
+        mode = "admit" if self.admit_immediately else "sweep"
+        recover_one = self._admit_one if self.admit_immediately \
+            else self._recover_one
 
         targets = [i for i, e in enumerate(group.shards) if e.dead]
         if targets:
             with ThreadPoolExecutor(max_workers=workers,
                                     thread_name_prefix="shard-rec") as pool:
                 futures = {
-                    i: pool.submit(self._recover_one, i, group.shard(i),
-                                   name)
+                    i: pool.submit(recover_one, i, group.shard(i), name)
                     for i in targets
                 }
                 for i, future in futures.items():
-                    engine, report = future.result()
+                    try:
+                        result = future.result()
+                    # a raising on_reopen hook (or any other
+                    # non-ReproError escape from one worker) must not
+                    # abort the pass and silently discard every sibling
+                    # already recovered: record a failed report, keep
+                    # the shard's dead engine, move on
+                    except Exception as exc:  # lint: disable=R005
+                        reports[i] = ShardRecoveryReport(
+                            shard=i, ok=False, mode=mode,
+                            error=f"{type(exc).__name__}: {exc}")
+                        self._m_failed.inc()
+                        get_trace().emit("shard_recovery", shard=i,
+                                         ok=False, repairs=0)
+                        continue
+                    if self.admit_immediately:
+                        engine, report, tree = result
+                        admitted_trees[i] = tree
+                    else:
+                        engine, report = result
                     engines[i] = engine
                     reports[i] = report
         for i in range(len(group)):
             if reports[i] is None:
-                reports[i] = ShardRecoveryReport(shard=i, ok=True)
+                reports[i] = ShardRecoveryReport(shard=i, ok=True,
+                                                 mode=mode)
 
+        out_group = ShardedEngine(engines)
         out = GroupRecoveryReport(
             shards=[r for r in reports if r is not None],
             wall_seconds=perf_counter() - started,
             max_workers=workers,
         )
-        return ShardedEngine(engines), out
+        if self.admit_immediately:
+            out.heal = self._build_heal(out_group, name, admitted_trees,
+                                        admitted_at=started)
+        return out_group, out
 
     # -- one shard ---------------------------------------------------------
 
@@ -184,16 +251,97 @@ class RecoveryOrchestrator:
             m_repairs.inc(sum(report.repairs.values()))
             self._m_recovered.inc()
         except CrashError as exc:
+            # the recovery incarnation itself crashed: the reopened
+            # engine is dead, so returning it keeps the shard gated
+            # exactly like the original dead engine did (if the error
+            # arrived without the engine actually dying — a raising
+            # hook — fall back to the dead engine so the shard cannot
+            # serve while reported failed)
             report.error = f"crashed during recovery: {exc}"
+            if not engine.dead:
+                engine = dead_engine
             self._m_failed.inc()
         except ReproError as exc:
+            # non-crash failure after reopen (a raising verifier, a
+            # refused open): the reopened engine is *live but
+            # unverified* — returning it would let ``live_shards()``
+            # route traffic to a shard marked ok=False.  Keep the dead
+            # engine, as the docstring promises, so the shard stays
+            # gated until a retry pass heals it.
             report.error = f"{type(exc).__name__}: {exc}"
+            engine = dead_engine
             self._m_failed.inc()
         get_trace().emit("shard_recovery", shard=index, ok=report.ok,
                          duration=report.restart_seconds
                          + report.drive_seconds,
                          repairs=sum(report.repairs.values()))
         return engine, report
+
+    # -- one shard, instant restart ----------------------------------------
+
+    def _admit_one(self, index: int, dead_engine: StorageEngine,
+                   name: str) -> tuple[StorageEngine,
+                                       ShardRecoveryReport, object | None]:
+        """Cold admission: reopen + open tree, nothing else.
+
+        The restart cost is the paper's claim — control page plus meta
+        page, independent of index size.  Every repair the sweep mode
+        would have driven is deferred to the heal queue; first-use
+        checks keep the shard safe to serve meanwhile.
+        """
+        report = ShardRecoveryReport(shard=index, mode="admit")
+        started = perf_counter()
+        engine = dead_engine
+        tree = None
+        try:
+            engine = StorageEngine.reopen(dead_engine)
+            if self.on_reopen is not None:
+                self.on_reopen(index, engine)
+            tree = _open_member_tree(engine, name)
+            report.restart_seconds = perf_counter() - started
+            report.ok = True
+            self._h_restart.observe(report.restart_seconds)
+            self._h_ttfq.observe(report.restart_seconds)
+            self._m_recovered.inc()
+        except CrashError as exc:
+            report.error = f"crashed during admission: {exc}"
+            if not engine.dead:
+                engine = dead_engine
+            tree = None
+            self._m_failed.inc()
+        except ReproError as exc:
+            # same contract as the sweep path: a non-crash failure keeps
+            # the dead engine so the shard stays gated
+            report.error = f"{type(exc).__name__}: {exc}"
+            engine = dead_engine
+            tree = None
+            self._m_failed.inc()
+        get_trace().emit("shard_recovery", shard=index, ok=report.ok,
+                         duration=report.restart_seconds, repairs=0)
+        return engine, report, tree
+
+    def _build_heal(self, group: ShardedEngine, name: str,
+                    admitted_trees: dict[int, object], *,
+                    admitted_at: float):
+        """One serving :class:`ShardedTree` over the admitted group plus
+        the heal queue driving its deferred repairs."""
+        from .heal import HealQueue
+
+        healing = sorted(i for i, t in admitted_trees.items()
+                         if t is not None)
+        trees: list[object | None] = []
+        codec = None
+        for i, engine in enumerate(group.shards):
+            tree = admitted_trees.get(i)
+            if tree is None and not engine.dead:
+                tree = _open_member_tree(engine, name)
+            trees.append(tree)
+            if tree is not None and codec is None:
+                codec = tree.codec
+        if codec is None:
+            return None     # every shard is dead: nothing serves or heals
+        sharded = ShardedTree(group, name, trees, codec)
+        return HealQueue(group, sharded, healing, admitted_at=admitted_at)
 
 
 def _open_member_tree(engine: StorageEngine, name: str):
@@ -223,10 +371,13 @@ def _repair_counts(tree) -> dict:
 
 def recover_group(group: ShardedEngine, name: str, *,
                   parallel: bool = True,
-                  fsck_first: bool = False) \
+                  fsck_first: bool = False,
+                  admit_immediately: bool = False) \
         -> tuple[ShardedEngine, GroupRecoveryReport]:
     """Convenience wrapper: parallel (or serial-baseline) recovery of a
-    crashed group in one call."""
+    crashed group in one call.  ``admit_immediately=True`` returns the
+    group serving cold with ``report.heal`` still draining repairs."""
     orchestrator = RecoveryOrchestrator(
-        max_workers=None if parallel else 1, fsck_first=fsck_first)
+        max_workers=None if parallel else 1, fsck_first=fsck_first,
+        admit_immediately=admit_immediately)
     return orchestrator.recover(group, name)

@@ -73,9 +73,19 @@ class GroupSyncScheduler:
         if dirty < self.dirty_threshold:
             return False
         self._h_dirty.observe(dirty)
-        self._m_pressure.inc()
-        self.group.sync_shard(shard_index)  # CrashError propagates: the
-        return True                         # owner must learn its shard died
+        try:
+            self.group.sync_shard(shard_index)
+        except CrashError:
+            # attribute the crash to the window it happened inside — the
+            # open interval a barrier would close as window+1 — so
+            # crash-window sweeps see pressure-path crashes too, not
+            # just barrier ones
+            self._m_crashes.inc()
+            with self._lock:
+                self.crash_windows[shard_index] = self.window + 1
+            raise               # the owner must learn its shard died
+        self._m_pressure.inc()  # only completed syncs count
+        return True
 
     # -- barrier path ------------------------------------------------------
 

@@ -74,9 +74,16 @@ class ShardWorkerPool:
     """
 
     def __init__(self, tree: ShardedTree, *,
-                 scheduler: GroupSyncScheduler | None = None):
+                 scheduler: GroupSyncScheduler | None = None,
+                 heal=None, heal_units_per_op: int = 1):
         self.tree = tree
         self.scheduler = scheduler
+        # instant restart: the background heal queue drained by these
+        # same owner threads between foreground ops (defaults to the
+        # queue the orchestrator attached to the serving handle)
+        self.heal = heal if heal is not None \
+            else getattr(tree, "heal", None)
+        self.heal_units_per_op = heal_units_per_op
         self._n = len(tree.trees)
         self._queues: list[queue.Queue] = [queue.Queue()
                                            for _ in range(self._n)]
@@ -130,8 +137,8 @@ class ShardWorkerPool:
         crashed_lock = threading.Lock()
         for shard_index in range(self._n):
             self._queues[shard_index].put(
-                (partitions[shard_index], results, done[shard_index],
-                 crashed, crashed_lock))
+                ("batch", partitions[shard_index], results,
+                 done[shard_index], crashed, crashed_lock))
         for event in done:
             event.wait()
 
@@ -146,6 +153,30 @@ class ShardWorkerPool:
         self._m_op_errors.inc(len(report.errors()))
         return report
 
+    def run_heal(self, max_units_per_shard: int | None = None) \
+            -> list[int]:
+        """Drain the background heal queue on the owner threads — the
+        idle-time counterpart of the per-op interleaving.  Blocks until
+        every healing shard ran its budget (or healed, or died); returns
+        the shards that crashed doing so."""
+        if self._closed:
+            raise ReproError("worker pool is closed")
+        if self.heal is None:
+            return []
+        targets = [i for i in self.heal.pending_shards() if i < self._n]
+        if not targets:
+            return []
+        done = {i: threading.Event() for i in targets}
+        crashed: list[int] = []
+        crashed_lock = threading.Lock()
+        for shard_index in targets:
+            self._queues[shard_index].put(
+                ("heal", max_units_per_shard, done[shard_index],
+                 crashed, crashed_lock))
+        for event in done.values():
+            event.wait()
+        return sorted(crashed)
+
     # -- the worker --------------------------------------------------------
 
     def _worker_loop(self, shard_index: int) -> None:
@@ -154,12 +185,40 @@ class ShardWorkerPool:
             item = q.get()
             if item is None:
                 return
-            partition, results, done, crashed, crashed_lock = item
-            try:
-                self._run_partition(shard_index, partition, results,
-                                    crashed, crashed_lock)
-            finally:
-                done.set()
+            if item[0] == "batch":
+                _, partition, results, done, crashed, crashed_lock = item
+                try:
+                    self._run_partition(shard_index, partition, results,
+                                        crashed, crashed_lock)
+                finally:
+                    done.set()
+            else:
+                _, budget, done, crashed, crashed_lock = item
+                try:
+                    self._run_heal(shard_index, budget, crashed,
+                                   crashed_lock)
+                finally:
+                    done.set()
+
+    def _run_heal(self, shard_index: int, budget: int | None,
+                  crashed, crashed_lock) -> None:
+        chunk = 32
+        remaining = budget
+        try:
+            while True:
+                step = chunk if remaining is None else min(chunk, remaining)
+                if step <= 0 or not self.heal.step(shard_index,
+                                                   max_units=step):
+                    return
+                if remaining is not None:
+                    remaining -= step
+        except CrashError:
+            with crashed_lock:
+                crashed.append(shard_index)
+        except ReproError:
+            # recorded by the queue against the shard; the owner thread
+            # must survive for foreground work on its siblings' behalf
+            pass
 
     def _run_partition(self, shard_index: int, partition, results,
                        crashed, crashed_lock) -> None:
@@ -176,6 +235,12 @@ class ShardWorkerPool:
                 entry.error = dead_reason
                 continue
             try:
+                if self.heal is not None:
+                    # promote the touched subtree, then pay a few units
+                    # of background heal between foreground ops — the
+                    # instant-restart interleaving
+                    self.heal.note_access(shard_index,
+                                          self.tree.codec.encode(value))
                 if name == "insert":
                     tree.insert(value, op[2])
                 elif name == "lookup":
@@ -184,6 +249,9 @@ class ShardWorkerPool:
                     tree.delete(value)
                 if self.scheduler is not None:
                     self.scheduler.note_op(shard_index)
+                if self.heal is not None:
+                    self.heal.step(shard_index,
+                                   max_units=self.heal_units_per_op)
             except CrashError as exc:
                 entry.error = f"shard crashed: {exc}"
                 dead_reason = f"shard {shard_index} crashed mid-batch"

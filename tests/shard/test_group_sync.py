@@ -87,6 +87,42 @@ def test_pressure_crash_propagates_to_owner():
     assert group.shard(target).dead
 
 
+def test_pressure_crash_lands_in_crash_windows():
+    group, tree, scheduler = make(dirty_threshold=4)
+    # close one barrier window first so the attribution is non-trivial
+    assert scheduler.sync_group() == []
+    assert scheduler.window == 1
+    target = tree.shard_of(0)
+    group.shard(target).crash_policy = RandomSubsetCrash(p=1.0, seed=3)
+    routed = [k for k in range(4000) if tree.shard_of(k) == target]
+    with pytest.raises(CrashError):
+        for k in routed[:200]:
+            tree.insert(k, TID(1, k % 100))
+            scheduler.note_op(target)
+    # the crash is attributed to the open interval the next barrier
+    # would close — same ordinal a barrier crash would have recorded
+    assert scheduler.crash_windows == {target: scheduler.window + 1}
+
+
+def test_pressure_counter_ignores_syncs_that_crashed():
+    from repro.obs import get_registry, metric_key
+
+    key = metric_key("shard.sync.triggered", {"reason": "pressure"})
+
+    group, tree, scheduler = make(dirty_threshold=4)
+    target = tree.shard_of(0)
+    group.shard(target).crash_policy = RandomSubsetCrash(p=1.0, seed=7)
+    before = get_registry().snapshot()["counters"].get(key, 0)
+    routed = [k for k in range(4000) if tree.shard_of(k) == target]
+    with pytest.raises(CrashError):
+        for k in routed[:200]:
+            tree.insert(k, TID(1, k % 100))
+            scheduler.note_op(target)
+    after = get_registry().snapshot()["counters"].get(key, 0)
+    assert after == before, \
+        "a pressure sync that crashed never completed; it must not count"
+
+
 def test_group_sync_emits_trace_events():
     group, tree, scheduler = make()
     tree.insert(3, TID(1, 3))

@@ -134,6 +134,60 @@ def test_recovery_emits_per_shard_metrics_and_traces():
     assert recovered == {1, 3}
 
 
+def test_raising_on_reopen_hook_does_not_discard_siblings():
+    # a hook bug (or any non-ReproError escape from one worker) must be
+    # contained to its shard: siblings recovered in the same pass stay
+    # recovered, the pass returns instead of raising
+    group, tree = build_group()
+    crash_shards(group, tree, [0, 2])
+
+    def bad_hook(index, engine):
+        if index == 0:
+            raise ValueError("hook bug on shard 0")
+
+    group2, report = RecoveryOrchestrator(on_reopen=bad_hook).recover(
+        group, "ix")
+    assert not report.ok
+    assert report.failed_shards() == [0]
+    by_shard = {r.shard: r for r in report.shards}
+    assert "ValueError" in by_shard[0].error
+    assert by_shard[2].ok and by_shard[2].keys_seen > 0
+    # the victim keeps its dead engine; the sibling serves
+    assert group2.shard(0) is group.shard(0)
+    assert set(group2.live_shards()) == {1, 2, 3}
+    # a retry pass (hook fixed) heals the victim with siblings untouched
+    group3, retry = RecoveryOrchestrator().recover(group2, "ix")
+    assert retry.ok
+    assert group3.shard(2) is group2.shard(2)
+    scanned = {k for k, _ in group3.open_tree("ix").range_scan()}
+    assert set(range(KEYS)) <= scanned
+
+
+def test_non_crash_failure_keeps_the_shard_gated():
+    # a ReproError after reopen (a refused open, a raising verifier)
+    # leaves the reopened engine live but unverified — the orchestrator
+    # must hand back the *dead* engine so live_shards() never routes
+    # traffic to a shard whose report says ok=False
+    group, tree = build_group()
+    crash_shards(group, tree, [1])
+
+    from repro.errors import ReproError
+
+    def refuse(index, engine):
+        raise ReproError("verifier refused this shard")
+
+    group2, report = RecoveryOrchestrator(on_reopen=refuse).recover(
+        group, "ix")
+    assert report.failed_shards() == [1]
+    assert group2.shard(1) is group.shard(1), \
+        "failed shard must keep its dead engine, not the reopened one"
+    assert 1 not in group2.live_shards()
+    group3, retry = RecoveryOrchestrator().recover(group2, "ix")
+    assert retry.ok
+    scanned = {k for k, _ in group3.open_tree("ix").range_scan()}
+    assert set(range(KEYS)) <= scanned
+
+
 def test_recovery_of_a_clean_group_is_a_no_op():
     group, tree = build_group()
     group2, report = RecoveryOrchestrator().recover(group, "ix")
