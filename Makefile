@@ -1,13 +1,17 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check flow hotpath instantrestart lint races shard test test-sanitized
+.PHONY: check flow hotpath instantrestart lint races shard test \
+	test-sanitized threads
 
 check:
 	sh scripts/check.sh
 
 flow:
 	python -m repro.tools.lint src/ tests/ benchmarks/ --engine=flow
+
+threads:
+	python -m repro.tools.lint src/ tests/ benchmarks/ --engine=threads
 
 lint:
 	python -m repro.tools.lint src/ tests/ benchmarks/

@@ -22,6 +22,22 @@ assert doc['ok'], doc['violations']
 print(f\"flow engine clean over {doc['files_checked']} files\")
 "
 
+echo "==> thread-topology lint (--engine=threads, JSON report)"
+python -m repro.tools.lint src/ tests/ benchmarks/ --engine=threads \
+    --format=json > LINT_threads.json || true
+python -c "
+import json
+doc = json.load(open('LINT_threads.json'))
+baseline = json.load(open('scripts/lint_baselines.json'))['threads']
+assert not doc['parse_errors'], doc['parse_errors']
+count = len(doc['violations'])
+assert count <= baseline, (
+    f'{count} thread-topology findings exceed the baseline of '
+    f'{baseline}: ' + json.dumps(doc['violations'], indent=2))
+print(f\"threads engine: {count} findings (baseline {baseline}) \"
+      f\"over {doc['files_checked']} files\")
+"
+
 if command -v ruff >/dev/null 2>&1; then
     echo "==> ruff"
     ruff check src tests

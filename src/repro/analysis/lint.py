@@ -257,6 +257,48 @@ def lint_paths(paths: Iterable[str | Path],
 
 
 # ---------------------------------------------------------------------------
+# cross-engine dedupe
+# ---------------------------------------------------------------------------
+
+#: Rules that express the same underlying discipline in different
+#: engines.  When two engines flag the same family at the same
+#: file:line (the pattern rule's per-scope form and the flow rule's
+#: per-path form of one bug, say), printing both doubles the noise
+#: without adding information — ``--engine all`` keeps one.
+RULE_FAMILIES: dict[str, frozenset[str]] = {
+    "pin": frozenset({"R001", "R011", "R013"}),
+    "dirty": frozenset({"R003", "R012"}),
+    "latch": frozenset({"R006", "R007", "R008", "R009", "R014"}),
+    "cache": frozenset({"R010", "R015"}),
+    "lockset": frozenset({"R016", "R019"}),
+}
+
+_FAMILY_OF: dict[str, str] = {
+    rule: family
+    for family, rules in RULE_FAMILIES.items()
+    for rule in rules
+}
+
+
+def dedupe_violations(violations: list[Violation]) -> list[Violation]:
+    """Collapse same-family findings at the same file:line to one,
+    preferring the finding that carries a witness path (the
+    path-sensitive engines explain *how*, not just *where*)."""
+    best: dict[tuple[str, str, int], Violation] = {}
+    order: list[tuple[str, str, int]] = []
+    for v in violations:
+        family = _FAMILY_OF.get(v.rule_id, v.rule_id)
+        key = (family, v.path, v.line)
+        kept = best.get(key)
+        if kept is None:
+            best[key] = v
+            order.append(key)
+        elif len(v.witness) > len(kept.witness):
+            best[key] = v
+    return [best[key] for key in order]
+
+
+# ---------------------------------------------------------------------------
 # shared AST helpers used by several rules
 # ---------------------------------------------------------------------------
 

@@ -124,12 +124,17 @@ class ScheduleExplorer:
     # -- worker plumbing -----------------------------------------------------
 
     def _body(self, worker: _Worker) -> None:
-        self._by_ident[threading.get_ident()] = worker
+        # GIL-atomic dict store of this thread's own entry; a racing
+        # read in point() misses at worst and takes the designed
+        # unmanaged pass-through
+        self._by_ident[threading.get_ident()] = worker  # lint: disable=R016
         self.point("start")     # parks until the controller grants a turn
         try:
             worker.fn()
         except BaseException as exc:  # lint: disable=R005 — reported as finding
-            worker.error = exc
+            # read by run() only after join() (or for a thread already
+            # reported stuck, where None and the late value read alike)
+            worker.error = exc  # lint: disable=R016
         finally:
             with self._cond:
                 worker.state = _DONE
@@ -184,7 +189,9 @@ class ScheduleExplorer:
         finally:
             # teardown: let every parked worker free-run to completion,
             # then take the hook away so their retries don't spin on us
-            self._released = True
+            # monotonic latch read lock-free on the fast path; the park
+            # loop in point() re-checks it under the condition
+            self._released = True  # lint: disable=R016
             with self._cond:
                 self._cond.notify_all()
             set_schedule_hook(previous_hook)

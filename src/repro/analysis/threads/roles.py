@@ -1,0 +1,148 @@
+"""Thread-role inference over a :class:`~.model.PackageModel`.
+
+A **thread role** names the kind of thread that can be executing a
+method: ``shard-worker`` for anything reachable from a
+``threading.Thread(target=…, name="shard-worker-…")`` run loop,
+``shard-rec`` for an executor's submitted functions, ``callback`` for
+``Future.add_done_callback`` targets, and ``caller`` for everything the
+package's public API exposes to whatever thread the application calls
+in on.  Two accesses to the same attribute matter to the lockset rules
+exactly when their role sets differ — same-role accesses are serialized
+by the thread itself.
+
+Inference is a BFS from the entry points over the *call* edges the
+model resolved (spawn edges start new roles, they do not propagate the
+spawner's).  For every ``(method, role)`` pair the walk records the
+edge it arrived by, so each finding can print a concrete witness chain
+from the spawn/API entry down to the access.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from .model import MethodInfo, PackageModel
+
+__all__ = ["RoleMap", "infer_roles", "entry_methods"]
+
+#: role of a public-API entry: whatever thread the application calls in on
+CALLER = "caller"
+
+
+@dataclass(frozen=True)
+class _Entry:
+    method: str
+    role: str
+    file: str
+    line: int
+    note: str
+
+
+class RoleMap:
+    """roles per method, plus the witness chain for each (method, role)."""
+
+    def __init__(self) -> None:
+        self.roles: dict[str, set[str]] = {}
+        #: (method, role) -> (parent_method | None, file, line, note)
+        self._edges: dict[tuple[str, str], tuple[str | None, str, int,
+                                                 str]] = {}
+
+    def of(self, method: str) -> set[str]:
+        return self.roles.get(method, set())
+
+    def add(self, method: str, role: str, parent: str | None,
+            file: str, line: int, note: str) -> bool:
+        """Record method∈role (arrived via *parent*); True if new."""
+        seen = self.roles.setdefault(method, set())
+        if role in seen:
+            return False
+        seen.add(role)
+        self._edges[(method, role)] = (parent, file, line, note)
+        return True
+
+    def chain(self, method: str, role: str,
+              limit: int = 6) -> list[tuple[str, int, str]]:
+        """The witness chain entry → … → *method* for one role, as
+        ``(file, line, note)`` steps in execution order."""
+        steps: list[tuple[str, int, str]] = []
+        cursor: str | None = method
+        while cursor is not None and len(steps) < limit:
+            edge = self._edges.get((cursor, role))
+            if edge is None:
+                break
+            parent, file, line, note = edge
+            steps.append((file, line, note))
+            cursor = parent
+        steps.reverse()
+        return steps
+
+
+def infer_roles(model: PackageModel) -> RoleMap:
+    roles = RoleMap()
+    queue: deque[tuple[str, str]] = deque()
+
+    def seed(entry: _Entry) -> None:
+        if entry.method in model.methods and \
+                roles.add(entry.method, entry.role, None,
+                          entry.file, entry.line, entry.note):
+            queue.append((entry.method, entry.role))
+
+    for entry in _entries(model):
+        seed(entry)
+
+    while queue:
+        method, role = queue.popleft()
+        mi = model.methods.get(method)
+        if mi is None:
+            continue
+        for call in mi.calls:
+            note = (f"{call.file}:{call.line} {method} calls "
+                    f"{call.callee} on the {role!r} thread")
+            if roles.add(call.callee, role, method, call.file,
+                         call.line, note):
+                queue.append((call.callee, role))
+    return roles
+
+
+def _entries(model: PackageModel):
+    # 1. spawn targets: each spawn names the role its new thread runs
+    for mi in model.methods.values():
+        for spawn in mi.spawns:
+            if spawn.target is None:
+                continue
+            what = {"thread": "Thread(target=…)",
+                    "future": "executor.submit(…)",
+                    "callback": "Future.add_done_callback(…)"}[spawn.kind]
+            yield _Entry(
+                spawn.target, spawn.role, spawn.file, spawn.line,
+                f"{spawn.file}:{spawn.line} {spawn.method} spawns "
+                f"{spawn.target} via {what} as role {spawn.role!r}")
+    # 2. the public API: every public method/function is a caller entry
+    for mi in model.methods.values():
+        if _is_public_entry(mi):
+            kind = "method" if mi.cls else "function"
+            yield _Entry(
+                mi.qualname, CALLER, mi.file, mi.line,
+                f"{mi.file}:{mi.line} public {kind} {mi.qualname} "
+                f"runs on the application (caller) thread")
+
+
+def entry_methods(model: PackageModel) -> set[str]:
+    """The methods control can enter from outside the package's own
+    call graph — spawn targets and public API.  These anchor the
+    inherited-lockset fixpoint: an entry can always be invoked with no
+    package lock held, so it inherits nothing."""
+    return {entry.method for entry in _entries(model)}
+
+
+def _is_public_entry(mi: MethodInfo) -> bool:
+    name = mi.name
+    if mi.cls is not None and mi.cls.startswith("_"):
+        # private classes are built by the package's own public API, so
+        # their construction runs in whatever role constructs them —
+        # but __init__ still publishes, so keep it as a caller entry
+        return name == "__init__"
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")

@@ -89,6 +89,17 @@ class HealQueue:
 
     # -- introspection -------------------------------------------------
 
+    # Every _ShardHeal field the owner thread mutates is read here from
+    # whatever thread polls the queue, so each probe snapshots the
+    # shard's state under its entry lock — the same lock the heal drive
+    # holds while mutating it.
+
+    def _status(self, index: int) -> tuple[bool, bool, float | None]:
+        """(done, failed, full_heal_seconds) snapshot for one shard."""
+        state = self._shards[index]
+        with self._locks[index]:
+            return state.done, state.failed, state.full_heal_seconds
+
     @property
     def shard_indexes(self) -> list[int]:
         return sorted(self._shards)
@@ -96,25 +107,29 @@ class HealQueue:
     @property
     def done(self) -> bool:
         """True once every admitted shard healed fully or failed."""
-        return all(s.done or s.failed for s in self._shards.values())
+        return all(done or failed
+                   for done, failed, _ in map(self._status, self._shards))
 
     @property
     def healed(self) -> bool:
         """True once every admitted shard healed fully (none failed)."""
-        return all(s.done for s in self._shards.values())
+        return all(done for done, _, _ in map(self._status, self._shards))
 
     def failed_shards(self) -> list[int]:
-        return sorted(i for i, s in self._shards.items() if s.failed)
+        return sorted(i for i in self._shards if self._status(i)[1])
 
     def pending_shards(self) -> list[int]:
-        return sorted(i for i, s in self._shards.items()
-                      if not s.done and not s.failed)
+        return sorted(i for i in self._shards
+                      if not any(self._status(i)[:2]))
 
     def time_to_full_heal(self) -> float | None:
         """Max per-shard heal latency, once every shard healed."""
-        if not self.healed or not self._shards:
+        if not self._shards:
             return None
-        return max(s.full_heal_seconds for s in self._shards.values())
+        latencies = [self._status(i)[2] for i in self._shards]
+        if any(latency is None for latency in latencies):
+            return None   # not fully healed (or some shard failed)
+        return max(latencies)
 
     def progress(self) -> dict:
         """JSON-friendly snapshot of every shard's heal state."""
@@ -137,9 +152,14 @@ class HealQueue:
         unit covering *encoded_key* is promoted.  No-op for shards that
         are not healing."""
         state = self._shards.get(shard_index)
-        if state is None or state.done or state.failed:
+        if state is None:
             return
         with self._locks[shard_index]:
+            # the done/failed probe belongs inside the lock: checked
+            # outside, a shard completing concurrently could take a
+            # promotion into a sweep that already hit its fixpoint
+            if state.done or state.failed:
+                return
             state.sweep.promote(encoded_key)
 
     # -- the heal drive (owner thread of shard_index only) -------------
@@ -155,21 +175,32 @@ class HealQueue:
         pressure-sync contract: the owner must learn its shard died.
         """
         state = self._shards.get(shard_index)
-        if state is None or state.done or state.failed:
+        if state is None:
             return 0
+        lock = self._locks[shard_index]
         did = 0
+        finished = False
         try:
-            while did < max_units and not state.sweep.done:
-                with self._locks[shard_index]:
+            while did < max_units:
+                with lock:
+                    if state.done or state.failed:
+                        return did
+                    if state.sweep.done:
+                        finished = True
+                        break
                     ran = state.sweep.step(max_units=1)
-                if not ran:  # pragma: no cover - sweep finished racing us
-                    break
-                did += ran
-                state.units_done += ran
+                    if not ran:  # pragma: no cover - empty sweep unit
+                        break
+                    did += ran
+                    state.units_done += ran
+                    if state.units_done % PROGRESS_EVERY == 0:
+                        self._emit(state, done=False)
                 self._m_units.inc(ran)
-                if state.units_done % PROGRESS_EVERY == 0:
-                    self._emit(state, done=False)
-            if state.sweep.done:
+            with lock:
+                if not state.done and not state.failed and \
+                        state.sweep.done:
+                    finished = True
+            if finished:
                 self._complete(state)
         except CrashError as exc:
             self._fail(state, f"crashed during background heal: {exc}")
@@ -195,24 +226,32 @@ class HealQueue:
         # the sweep hit its fixpoint: validate with the post-crash
         # relaxations (stale dual paths may legally survive), then make
         # the repairs durable — the same epilogue the stop-the-world
-        # drive ran, just later
+        # drive ran, just later.  The descent and the sync stay outside
+        # the entry lock (both block on simulated I/O; only this
+        # shard's owner thread drives them), the field writes go under
+        # it so the introspection snapshots never see a half-written
+        # completion.
         state.tree.check(strict_tokens=False, require_peer_chain=False)
         self.group.shard(state.index).sync()
-        state.repairs = len(state.tree.repair_log)
-        state.full_heal_seconds = perf_counter() - state.admitted_at
-        state.done = True
-        self._m_healed.inc()
-        self._m_repairs.inc(state.repairs)
-        self._h_ttfh.observe(state.full_heal_seconds)
-        self._emit(state, done=True)
+        with self._locks[state.index]:
+            state.repairs = len(state.tree.repair_log)
+            state.full_heal_seconds = perf_counter() - state.admitted_at
+            state.done = True
+            self._m_healed.inc()
+            self._m_repairs.inc(state.repairs)
+            self._h_ttfh.observe(state.full_heal_seconds)
+            self._emit(state, done=True)
 
     def _fail(self, state: _ShardHeal, error: str) -> None:
-        state.failed = True
-        state.error = error
-        self._m_failed.inc()
-        self._emit(state, done=False)
+        with self._locks[state.index]:
+            state.failed = True
+            state.error = error
+            self._m_failed.inc()
+            self._emit(state, done=False)
 
     def _emit(self, state: _ShardHeal, *, done: bool) -> None:
+        # caller holds the shard's entry lock (every field read here is
+        # owner-thread mutated under that lock)
         get_trace().emit(
             "heal_progress", shard=state.index, done=done,
             failed=state.failed, units_done=state.units_done,

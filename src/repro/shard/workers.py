@@ -28,6 +28,7 @@ from ..errors import CrashError, ReproError
 from ..obs import get_registry
 from ..storage.engine import EngineDeadError
 from .engine import ShardedTree
+from .heal import HealQueue
 from .scheduler import GroupSyncScheduler
 
 _OPS = ("insert", "lookup", "delete")
@@ -81,7 +82,7 @@ class ShardWorkerPool:
         # instant restart: the background heal queue drained by these
         # same owner threads between foreground ops (defaults to the
         # queue the orchestrator attached to the serving handle)
-        self.heal = heal if heal is not None \
+        self.heal: HealQueue | None = heal if heal is not None \
             else getattr(tree, "heal", None)
         self.heal_units_per_op = heal_units_per_op
         self._n = len(tree.trees)
@@ -89,6 +90,11 @@ class ShardWorkerPool:
                                            for _ in range(self._n)]
         self._threads: list[threading.Thread] = []
         self._closed = False
+        # guards the closed flag and the submission/sentinel ordering:
+        # checking `_closed` and enqueueing must be one atomic step, or
+        # a submission racing `close` can land behind the shutdown
+        # sentinel and strand its caller on an event no worker will set
+        self._lifecycle = threading.Lock()
         for i in range(self._n):
             thread = threading.Thread(target=self._worker_loop, args=(i,),
                                       name=f"shard-worker-{i}", daemon=True)
@@ -108,11 +114,18 @@ class ShardWorkerPool:
         self.close()
 
     def close(self) -> None:
-        if self._closed:
-            return
-        self._closed = True
-        for q in self._queues:
-            q.put(None)
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            # the sentinel is the last item each worker will ever see:
+            # holding the lifecycle lock here means no submission can
+            # slip in behind it
+            for q in self._queues:
+                q.put(None)
+        # join outside the lock — a blocking wait under the lifecycle
+        # lock would stall every concurrent submitter for the full
+        # drain (and close() never needs the lock again)
         for thread in self._threads:
             thread.join(timeout=30)
 
@@ -121,8 +134,9 @@ class ShardWorkerPool:
     def run_batch(self, ops) -> BatchReport:
         """Execute *ops* across the shards; block until every partition
         finished (or died)."""
-        if self._closed:
-            raise ReproError("worker pool is closed")
+        with self._lifecycle:
+            if self._closed:
+                raise ReproError("worker pool is closed")
         started = perf_counter()
         partitions: list[list[tuple[int, tuple]]] = [[] for _ in
                                                      range(self._n)]
@@ -135,10 +149,15 @@ class ShardWorkerPool:
         done = [threading.Event() for _ in range(self._n)]
         crashed: list[int] = []
         crashed_lock = threading.Lock()
-        for shard_index in range(self._n):
-            self._queues[shard_index].put(
-                ("batch", partitions[shard_index], results,
-                 done[shard_index], crashed, crashed_lock))
+        with self._lifecycle:
+            # re-checked: a close() racing the partitioning above must
+            # not let batch items land behind the shutdown sentinel
+            if self._closed:
+                raise ReproError("worker pool is closed")
+            for shard_index in range(self._n):
+                self._queues[shard_index].put(
+                    ("batch", partitions[shard_index], results,
+                     done[shard_index], crashed, crashed_lock))
         for event in done:
             event.wait()
 
@@ -159,8 +178,9 @@ class ShardWorkerPool:
         idle-time counterpart of the per-op interleaving.  Blocks until
         every healing shard ran its budget (or healed, or died); returns
         the shards that crashed doing so."""
-        if self._closed:
-            raise ReproError("worker pool is closed")
+        with self._lifecycle:
+            if self._closed:
+                raise ReproError("worker pool is closed")
         if self.heal is None:
             return []
         targets = [i for i in self.heal.pending_shards() if i < self._n]
@@ -169,10 +189,16 @@ class ShardWorkerPool:
         done = {i: threading.Event() for i in targets}
         crashed: list[int] = []
         crashed_lock = threading.Lock()
-        for shard_index in targets:
-            self._queues[shard_index].put(
-                ("heal", max_units_per_shard, done[shard_index],
-                 crashed, crashed_lock))
+        with self._lifecycle:
+            # re-checked under the lock: a close() racing the
+            # pending_shards() probe above must not let heal items land
+            # behind the shutdown sentinel
+            if self._closed:
+                raise ReproError("worker pool is closed")
+            for shard_index in targets:
+                self._queues[shard_index].put(
+                    ("heal", max_units_per_shard, done[shard_index],
+                     crashed, crashed_lock))
         for event in done.values():
             event.wait()
         return sorted(crashed)

@@ -1,0 +1,105 @@
+"""Cross-engine finding dedupe and exit-code consistency.
+
+``--engine all`` runs the pattern, flow and threads engines over the
+same files; rules in the same family firing at the same file:line are
+one finding, and every engine speaks the same exit-code protocol
+(0 clean / 1 findings-or-parse-errors / 2 usage)."""
+
+import json
+
+from repro.analysis.lint import Violation, dedupe_violations
+from repro.tools.lint import main as lint_main
+
+
+def v(rule_id, line=10, path="mod.py", witness=()):
+    return Violation(rule_id=rule_id, path=path, line=line, col=0,
+                     message=f"{rule_id} fired", witness=tuple(witness))
+
+
+# ---------------------------------------------------------------------------
+# dedupe_violations
+# ---------------------------------------------------------------------------
+
+def test_same_family_same_line_collapses_to_one():
+    # R003 (pattern) and R012 (flow) are both the dirty family
+    kept = dedupe_violations([v("R003"), v("R012")])
+    assert len(kept) == 1
+
+
+def test_witness_bearing_finding_wins():
+    flow = v("R012", witness=((9, "pin"), (10, "raw write")))
+    kept = dedupe_violations([v("R003"), flow])
+    assert kept == [flow]
+    # arrival order must not matter
+    assert dedupe_violations([flow, v("R003")]) == [flow]
+
+
+def test_different_lines_both_survive():
+    kept = dedupe_violations([v("R003", line=10), v("R012", line=20)])
+    assert [x.rule_id for x in kept] == ["R003", "R012"]
+
+
+def test_different_files_both_survive():
+    kept = dedupe_violations([v("R003", path="a.py"),
+                              v("R012", path="b.py")])
+    assert len(kept) == 2
+
+
+def test_unrelated_families_untouched():
+    # R016 (lockset family) and R012 (dirty family) at one line are
+    # genuinely different findings
+    kept = dedupe_violations([v("R012"), v("R016")])
+    assert [x.rule_id for x in kept] == ["R012", "R016"]
+
+
+def test_rules_without_a_family_never_merge():
+    kept = dedupe_violations([v("R002"), v("R002", line=11)])
+    assert len(kept) == 2
+
+
+def test_first_arrival_order_is_preserved():
+    # without a witness to break the tie, the first arrival is kept —
+    # and keeps its position in the report
+    kept = dedupe_violations(
+        [v("R002", line=5), v("R003", line=9), v("R012", line=9)])
+    assert [(x.rule_id, x.line) for x in kept] \
+        == [("R002", 5), ("R003", 9)]
+
+
+# ---------------------------------------------------------------------------
+# exit codes agree across engines
+# ---------------------------------------------------------------------------
+
+def test_every_engine_is_clean_and_exits_zero_on_good_source(
+        tmp_path, capsys):
+    good = tmp_path / "good.py"
+    good.write_text("def f():\n    return 1\n")
+    for engine in ("pattern", "flow", "threads", "all"):
+        assert lint_main([str(good), f"--engine={engine}"]) == 0
+        capsys.readouterr()
+
+
+def test_every_engine_reports_parse_errors_as_one(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    for engine in ("pattern", "flow", "threads", "all"):
+        assert lint_main([str(broken), f"--engine={engine}"]) == 1
+        capsys.readouterr()
+
+
+def test_every_engine_rejects_bad_usage_as_two(capsys):
+    for engine in ("pattern", "flow", "threads", "all"):
+        assert lint_main([f"--engine={engine}", "--rules", "R999"]) == 2
+        capsys.readouterr()
+
+
+def test_engine_all_json_carries_the_deduped_set(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("def f(buf):\n    buf.data[0] = 1\n")
+    assert lint_main([str(bad), "--engine=all", "--format=json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    rules = [item["rule"] for item in payload["violations"]]
+    # one dirty-family finding on the raw write (the flow form, which
+    # carries the witness), plus the unrelated missing-verify R002
+    assert rules.count("R012") == 1
+    assert "R003" not in rules

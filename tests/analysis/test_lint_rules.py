@@ -322,10 +322,11 @@ def test_cli_exit_codes_and_json(tmp_path, capsys):
     assert lint_main([str(bad), "--format=json"]) == 1
     payload = json.loads(capsys.readouterr().out)
     assert payload["ok"] is False
-    # both engines fire on the same idiom: the pattern rules (raw .data
-    # write, no dirty-mark in scope) and the per-path dirty check
+    # both the pattern engine (R003) and the flow engine (R012) fire on
+    # the raw .data write, but they are one dirty-family finding at one
+    # line: --engine all keeps the witness-bearing flow form only
     assert {v["rule"] for v in payload["violations"]} \
-        == {"R002", "R003", "R012"}
+        == {"R002", "R012"}
 
     good = tmp_path / "good.py"
     good.write_text("def f():\n    return 1\n")

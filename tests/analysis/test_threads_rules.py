@@ -1,0 +1,448 @@
+"""Unit tests for the thread-topology rules R016–R020: a violating and
+a conforming sample per rule, role-bearing witness chains, and the
+analyzer refinements (handoff publication, drop-and-reacquire wait
+wrappers, caller-side predicate loops)."""
+
+import textwrap
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.threads.rules import (
+    BlockingUnderLockRule,
+    CheckThenActRule,
+    ConditionWaitLoopRule,
+    InconsistentLocksetRule,
+    UnjoinedThreadRule,
+)
+
+
+def run(tmp_path, source, rules, filename="mod.py"):
+    path = tmp_path / filename
+    path.write_text(textwrap.dedent(source))
+    return lint_paths([path], rules)
+
+
+def rule_ids(report):
+    return [v.rule_id for v in report.violations]
+
+
+def notes(violation):
+    return [note for _, note in violation.witness]
+
+
+# ---------------------------------------------------------------------------
+# R016 — inconsistent locksets on a shared attribute
+# ---------------------------------------------------------------------------
+
+COUNTER = """
+    import threading
+
+    class Counter:
+        def __init__(self):
+            self.value = 0
+            self._lock = threading.Lock()
+            self._thread = threading.Thread(target=self._loop,
+                                            name="bump-0")
+            self._thread.start()
+
+        def _loop(self):
+            {write}
+
+        def read(self):
+            with self._lock:
+                return self.value
+
+        def stop(self):
+            self._thread.join()
+"""
+
+
+def test_r016_flags_unlocked_write_with_role_witness(tmp_path):
+    report = run(tmp_path, COUNTER.format(write="self.value += 1"),
+                 [InconsistentLocksetRule()])
+    assert rule_ids(report) == ["R016"]
+    v = report.violations[0]
+    assert "Counter.value" in v.message
+    assert "'bump'" in v.message and "'caller'" in v.message
+    # the witness names the spawn that establishes the writer's role
+    assert any("spawns" in n and "'bump'" in n for n in notes(v))
+    assert any("writes Counter.value" in n for n in notes(v))
+
+
+def test_r016_clean_when_consistently_locked(tmp_path):
+    source = COUNTER.format(
+        write="with self._lock:\n                self.value += 1")
+    report = run(tmp_path, source, [InconsistentLocksetRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r016_init_only_writes_are_publication(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        class Config:
+            def __init__(self):
+                self.limit = 8
+                self._thread = threading.Thread(target=self._loop,
+                                                name="scan-0")
+
+            def _loop(self):
+                return self.limit
+
+            def read(self):
+                return self.limit
+
+            def stop(self):
+                self._thread.join()
+    """, [InconsistentLocksetRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r016_single_role_attribute_is_clean(tmp_path):
+    report = run(tmp_path, """
+        class Local:
+            def __init__(self):
+                self.value = 0
+
+            def bump(self):
+                self.value += 1
+
+            def read(self):
+                return self.value
+    """, [InconsistentLocksetRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r016_event_handoff_publication_is_clean(tmp_path):
+    # single writer role publishes through done.set(); the caller only
+    # reads after done.wait() — the happens-before edge replaces a lock
+    report = run(tmp_path, """
+        import threading
+
+        class Job:
+            def __init__(self):
+                self.result = None
+                self.done = threading.Event()
+                self._thread = threading.Thread(target=self._loop,
+                                                name="job-0")
+                self._thread.start()
+
+            def _loop(self):
+                self.result = 42
+                self.done.set()
+
+            def wait_result(self):
+                self.done.wait()
+                return self.result
+
+            def stop(self):
+                self._thread.join()
+    """, [InconsistentLocksetRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r016_inherited_lockset_from_callers(tmp_path):
+    # _emit reads with no lexical lock, but every call site holds the
+    # lock — the interprocedural fixpoint must see the inherited lock
+    report = run(tmp_path, """
+        import threading
+
+        class Gauge:
+            def __init__(self):
+                self.value = 0
+                self._lock = threading.Lock()
+                self._thread = threading.Thread(target=self._loop,
+                                                name="tick-0")
+                self._thread.start()
+
+            def _loop(self):
+                with self._lock:
+                    self.value += 1
+                    self._emit()
+
+            def _emit(self):
+                print(self.value)
+
+            def read(self):
+                with self._lock:
+                    return self.value
+
+            def stop(self):
+                self._thread.join()
+    """, [InconsistentLocksetRule()])
+    assert report.ok, report.render_text()
+
+
+# ---------------------------------------------------------------------------
+# R017 — blocking call under a lock
+# ---------------------------------------------------------------------------
+
+def test_r017_flags_queue_get_under_lock(tmp_path):
+    report = run(tmp_path, """
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._q = queue.Queue()
+
+            def drain(self):
+                with self._lock:
+                    return self._q.get()
+    """, [BlockingUnderLockRule()])
+    assert rule_ids(report) == ["R017"]
+    v = report.violations[0]
+    assert "Queue.get()" in v.message
+    assert "Pump._lock" in v.message
+
+
+def test_r017_nonblocking_get_is_clean(tmp_path):
+    report = run(tmp_path, """
+        import queue
+        import threading
+
+        class Pump:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._q = queue.Queue()
+
+            def drain(self):
+                with self._lock:
+                    return self._q.get(block=False)
+    """, [BlockingUnderLockRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r017_transitive_through_package_calls(tmp_path):
+    report = run(tmp_path, """
+        import threading
+        from time import sleep
+
+        class Slow:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def outer(self):
+                with self._lock:
+                    self._inner()
+
+            def _inner(self):
+                sleep(0.1)
+    """, [BlockingUnderLockRule()])
+    assert rule_ids(report) == ["R017"]
+    assert any("Slow._inner" in n for n in notes(report.violations[0]))
+
+
+def test_r017_condition_wait_releases_its_own_lock(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        class Waiter:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.ready = False
+
+            def take(self):
+                with self._cond:
+                    while not self.ready:
+                        self._cond.wait()
+    """, [BlockingUnderLockRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r017_drop_and_reacquire_wrapper_is_clean(tmp_path):
+    # the LatchManager shape: a Condition built around an explicit
+    # mutex, and a wait wrapper that releases/reacquires that mutex —
+    # the alias and the releases-own exemption must both hold,
+    # transitively through the wrapper call
+    report = run(tmp_path, """
+        import threading
+
+        class Latch:
+            def __init__(self):
+                self._mutex = threading.Lock()
+                self._cond = threading.Condition(self._mutex)
+                self.busy = False
+
+            def _pause(self):
+                self._mutex.release()
+                self._mutex.acquire()
+
+            def acquire(self):
+                with self._cond:
+                    while self.busy:
+                        self._pause()
+                    self.busy = True
+    """, [BlockingUnderLockRule()])
+    assert report.ok, report.render_text()
+
+
+# ---------------------------------------------------------------------------
+# R018 — unjoined / unconsumed thread handles
+# ---------------------------------------------------------------------------
+
+def test_r018_flags_fire_and_forget_thread(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        def fire(fn):
+            t = threading.Thread(target=fn, name="fire-0")
+            t.start()
+    """, [UnjoinedThreadRule()])
+    assert rule_ids(report) == ["R018"]
+    assert "never joined" in report.violations[0].message
+
+
+def test_r018_joined_thread_is_clean(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        def fire(fn):
+            t = threading.Thread(target=fn, name="fire-0")
+            t.start()
+            t.join()
+    """, [UnjoinedThreadRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r018_attribute_root_joined_elsewhere_is_clean(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._threads: list[threading.Thread] = []
+                for i in range(2):
+                    t = threading.Thread(target=self._loop,
+                                         name="pool-0")
+                    t.start()
+                    self._threads.append(t)
+
+            def _loop(self):
+                return None
+
+            def close(self):
+                for t in self._threads:
+                    t.join()
+    """, [UnjoinedThreadRule()])
+    assert report.ok, report.render_text()
+
+
+# ---------------------------------------------------------------------------
+# R019 — non-atomic check-then-act
+# ---------------------------------------------------------------------------
+
+REGISTRY = """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self.items = {{}}
+            self._thread = threading.Thread(target=self._loop,
+                                            name="feed-0")
+            self._thread.start()
+
+        def _loop(self):
+            with self._lock:
+                self.items["x"] = 1
+
+        def add(self, key):
+            {body}
+
+        def stop(self):
+            self._thread.join()
+"""
+
+
+def test_r019_flags_unlocked_check_then_act(tmp_path):
+    body = ('if key not in self.items:\n'
+            '                self.items[key] = 1')
+    report = run(tmp_path, REGISTRY.format(body=body),
+                 [CheckThenActRule()])
+    assert rule_ids(report) == ["R019"]
+    v = report.violations[0]
+    assert "Registry.items" in v.message
+    assert any("branch test reads" in n for n in notes(v))
+    assert any("governed write" in n for n in notes(v))
+
+
+def test_r019_clean_when_atomic_under_lock(tmp_path):
+    body = ('with self._lock:\n'
+            '                if key not in self.items:\n'
+            '                    self.items[key] = 1')
+    report = run(tmp_path, REGISTRY.format(body=body),
+                 [CheckThenActRule()])
+    assert report.ok, report.render_text()
+
+
+# ---------------------------------------------------------------------------
+# R020 — Condition.wait outside a predicate loop
+# ---------------------------------------------------------------------------
+
+def test_r020_flags_bare_wait(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        class Waiter:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.ready = False
+
+            def take(self):
+                with self._cond:
+                    if not self.ready:
+                        self._cond.wait()
+    """, [ConditionWaitLoopRule()])
+    assert rule_ids(report) == ["R020"]
+    assert "predicate loop" in report.violations[0].message
+
+
+def test_r020_while_wrapped_wait_is_clean(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        class Waiter:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.ready = False
+
+            def take(self):
+                with self._cond:
+                    while not self.ready:
+                        self._cond.wait()
+    """, [ConditionWaitLoopRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r020_event_wait_is_not_flagged(tmp_path):
+    report = run(tmp_path, """
+        import threading
+
+        def block(done: threading.Event):
+            done.wait()
+    """, [ConditionWaitLoopRule()])
+    assert report.ok, report.render_text()
+
+
+def test_r020_wait_wrapper_with_caller_loops_is_clean(tmp_path):
+    # the predicate while lives at every call site of the private
+    # wrapper, exactly like LatchManager.acquire_read / _wait
+    report = run(tmp_path, """
+        import threading
+
+        class Latch:
+            def __init__(self):
+                self._cond = threading.Condition()
+                self.busy = False
+
+            def _wait(self):
+                self._cond.wait()
+
+            def acquire(self):
+                with self._cond:
+                    while self.busy:
+                        self._wait()
+                    self.busy = True
+    """, [ConditionWaitLoopRule()])
+    assert report.ok, report.render_text()

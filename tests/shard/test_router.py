@@ -1,5 +1,10 @@
 """Routing invariants: stability, coverage, uniformity."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
 from repro.core.keys import CODECS
@@ -60,3 +65,72 @@ def test_imbalance_of_empty_stream_is_neutral():
 def test_rejects_nonpositive_shard_count():
     with pytest.raises(ReproError):
         ShardRouter(0)
+    with pytest.raises(ReproError):
+        ShardRouter(-3)
+
+
+_ROUTE_SCRIPT = """\
+from repro.core.keys import CODECS
+from repro.shard import ShardRouter
+
+router = ShardRouter(8)
+codec = CODECS["uint32"]
+print(",".join(str(router.shard_of(codec.encode(k)))
+               for k in range(256)))
+"""
+
+
+def route_in_subprocess(hash_seed: str) -> str:
+    """Route a fixed key sample in a fresh interpreter with a chosen
+    hash salt."""
+    env = dict(os.environ,
+               PYTHONHASHSEED=hash_seed,
+               PYTHONPATH=str(Path(__file__).resolve().parents[2] / "src"))
+    result = subprocess.run([sys.executable, "-c", _ROUTE_SCRIPT],
+                            env=env, capture_output=True, text=True,
+                            timeout=60, check=True)
+    return result.stdout.strip()
+
+
+def test_routing_survives_process_restarts():
+    # the shard that wrote a key is the only one whose index holds it,
+    # so routing must not depend on the per-process hash salt: two
+    # incarnations with different salts agree with each other and with
+    # this process
+    first = route_in_subprocess("1")
+    second = route_in_subprocess("9001")
+    assert first == second
+    router = ShardRouter(8)
+    codec = CODECS["uint32"]
+    here = ",".join(str(router.shard_of(codec.encode(k)))
+                    for k in range(256))
+    assert here == first
+
+
+@pytest.mark.parametrize("n_shards", [2, 4, 16])
+def test_skew_bound_holds_across_shard_counts(n_shards):
+    # 1000 keys per shard: a fair hash lands max/mean comfortably
+    # under 1.25 at every pool size the benchmarks use
+    router = ShardRouter(n_shards)
+    codec = CODECS["uint32"]
+    keys = [codec.encode(k) for k in range(1000 * n_shards)]
+    counts = router.distribution(keys)
+    assert set(counts) == set(range(n_shards))
+    assert min(counts.values()) > 0
+    assert router.imbalance(keys) < 1.25
+
+
+def test_empty_key_routes_deterministically():
+    # the bytes codec can emit b"" — it must route like any other key
+    router = ShardRouter(4)
+    assert 0 <= router.shard_of(b"") < 4
+    assert router.shard_of(b"") == ShardRouter(4).shard_of(b"")
+
+
+def test_empty_stream_edge_cases():
+    router = ShardRouter(3)
+    assert router.partition([]) == [[], [], []]
+    counts = router.distribution([])
+    assert set(counts) == {0, 1, 2}
+    assert sum(counts.values()) == 0
+    assert router.imbalance([]) == 1.0
