@@ -1,8 +1,8 @@
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: check flow hotpath instantrestart lint races shard test \
-	test-sanitized threads
+.PHONY: check flow hotpath instantrestart lint races serving shard \
+	test test-sanitized threads
 
 check:
 	sh scripts/check.sh
@@ -18,6 +18,10 @@ lint:
 
 races:
 	python -m repro.tools.races --seeds 3
+
+serving:
+	python -m pytest -x -q tests/serve
+	python -m repro.bench.serving --smoke --json > BENCH_serving.json
 
 shard:
 	python -m pytest -x -q tests/shard \

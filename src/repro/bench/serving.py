@@ -1,0 +1,347 @@
+"""Serving throughput: cross-client group commit vs sync-per-commit.
+
+A pgbench-style mixed read/update workload runs against one
+:class:`~repro.serve.Server` from 1, 4, 16, and 64 concurrent client
+threads, under both commit disciplines:
+
+* **per_commit**: every client commit immediately syncs each shard the
+  client dirtied — N clients commit, N engine syncs run, and every one
+  pays the fixed durability-barrier cost (simulated ``sync_latency``,
+  the fsync analogue: a real flush barrier costs the same no matter how
+  few pages ride it) plus per-page write latency for the hot pages it
+  rewrites.  The sleeps release the GIL, so the measurement overlaps
+  like real disks.
+* **group**: commits funnel through the
+  :class:`~repro.serve.GroupCommitStage`; whatever commits are pending
+  when the committer wakes ride one
+  :meth:`~repro.shard.scheduler.GroupSyncScheduler.sync_group` barrier,
+  so each hot page is written once per *window*, not once per commit.
+
+Each point reports ops/s and client-observed p50/p99 operation latency,
+plus the group mode's window occupancy (mean commits acknowledged per
+barrier — the amortization factor the whole design buys).  The gate
+asserts group commit clears >=2x the per-commit ops/s at 16 clients.
+
+Usage::
+
+    python -m repro.bench.serving                 # full sweep
+    python -m repro.bench.serving --smoke --json  # CI smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+
+from ..core.keys import TID
+from ..serve import Overloaded, Server
+from ..shard import GroupSyncScheduler, ShardedEngine
+from ..workload.generators import mixed_ops
+from .shardrecovery import INDEX, _set_latency
+
+#: Zipf skew of the mixed workload's key stream (YCSB-style default).
+THETA = 0.99
+
+#: Client operations between commits (pgbench transaction size).
+COMMIT_EVERY = 4
+
+#: Backoff ladder for Overloaded retries (seconds).
+_BACKOFF = 0.002
+
+
+@dataclass
+class ClientStats:
+    """One client thread's tally."""
+
+    ops: int = 0
+    commits: int = 0
+    retries: int = 0
+    op_seconds: list[float] = field(default_factory=list)
+    commit_seconds: list[float] = field(default_factory=list)
+    error: str | None = None
+
+
+@dataclass
+class ModeResult:
+    """One commit discipline at one client count."""
+
+    mode: str
+    clients: int
+    ops: int = 0
+    commits: int = 0
+    retries: int = 0
+    wall_seconds: float = 0.0
+    ops_per_second: float = 0.0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+    commit_p50_ms: float = 0.0
+    commit_p99_ms: float = 0.0
+    window_occupancy: float = 0.0   # group mode: mean commits/barrier
+    commit_windows: int = 0
+    coalesced_ops: int = 0
+
+
+@dataclass
+class ServingPoint:
+    clients: int
+    per_commit: ModeResult | None = None
+    group: ModeResult | None = None
+
+    @property
+    def speedup(self) -> float:
+        if not self.per_commit or not self.group or \
+                not self.per_commit.ops_per_second:
+            return 0.0
+        return self.group.ops_per_second / self.per_commit.ops_per_second
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile in milliseconds (0.0 when empty)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, int(q * len(ordered)))
+    return ordered[rank] * 1e3
+
+
+def build_group(n_shards: int, *, total_keys: int, page_size: int,
+                seed: int, write_latency: float,
+                sync_latency: float) -> ShardedEngine:
+    """A fresh group preloaded with *total_keys* committed keys.  The
+    simulated latencies are applied only after the load, so setup stays
+    fast while the measured phase pays for every barrier and page."""
+    group = ShardedEngine.create(n_shards, page_size=page_size, seed=seed)
+    tree = group.create_tree("hybrid", INDEX, codec="uint32")
+    for i in range(total_keys):
+        tree.insert(i, TID(1 + (i >> 8), i & 0xFF))
+        if (i + 1) % 200 == 0:
+            group.sync_all()
+    group.sync_all()
+    _set_latency(group, 0.0, write_latency, sync_latency=sync_latency)
+    return group
+
+
+def _run_client(server: Server, ops: list[tuple[str, int]],
+                stats: ClientStats) -> None:
+    """One client thread: the mixed op stream with a commit every
+    :data:`COMMIT_EVERY` operations, pgbench style.  Overloaded
+    rejections back off and retry (they are the protocol, not a
+    failure); per-op and per-commit latencies are recorded as the
+    *client* observes them — queueing included."""
+    try:
+        session = server.session()
+        since_commit = 0
+        for kind, key in ops:
+            start = time.perf_counter()
+            while True:
+                try:
+                    if kind == "read":
+                        session.get(key)
+                    else:
+                        session.update(key, TID(7, key % 100))
+                    break
+                except Overloaded:
+                    stats.retries += 1
+                    time.sleep(_BACKOFF)
+            stats.op_seconds.append(time.perf_counter() - start)
+            stats.ops += 1
+            if kind != "read":
+                since_commit += 1
+                if since_commit >= COMMIT_EVERY:
+                    t0 = time.perf_counter()
+                    session.commit()
+                    stats.commit_seconds.append(time.perf_counter() - t0)
+                    stats.commits += 1
+                    since_commit = 0
+        if session.dirty_shards():
+            t0 = time.perf_counter()
+            session.commit()
+            stats.commit_seconds.append(time.perf_counter() - t0)
+            stats.commits += 1
+    except Exception as exc:  # lint: disable=R005
+        # surfaced by the harness as a bench failure; a client thread
+        # must never take the whole process down mid-measurement
+        stats.error = f"{type(exc).__name__}: {exc}"
+
+
+def measure_mode(mode: str, clients: int, *, n_shards: int,
+                 total_keys: int, ops_per_client: int, page_size: int,
+                 seed: int, write_latency: float, sync_latency: float,
+                 read_fraction: float) -> ModeResult:
+    group = build_group(n_shards, total_keys=total_keys,
+                        page_size=page_size, seed=seed,
+                        write_latency=write_latency,
+                        sync_latency=sync_latency)
+    tree = group.open_tree(INDEX)
+    scheduler = GroupSyncScheduler(group) if mode == "group" else None
+    out = ModeResult(mode=mode, clients=clients)
+    stats = [ClientStats() for _ in range(clients)]
+    with Server(tree, scheduler=scheduler, commit_mode=mode) as server:
+        workloads = [
+            mixed_ops(ops_per_client, total_keys,
+                      read_fraction=read_fraction, theta=THETA,
+                      seed=seed * 101 + clients * 7 + cid)
+            for cid in range(clients)
+        ]
+        threads = [
+            threading.Thread(target=_run_client,
+                             args=(server, workloads[cid], stats[cid]),
+                             name=f"client-{cid}")
+            for cid in range(clients)
+        ]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        out.wall_seconds = time.perf_counter() - started
+        if mode == "group":
+            out.window_occupancy = server.scheduler.amortization
+            out.commit_windows = server.scheduler.commit_windows
+    failed = [s.error for s in stats if s.error]
+    if failed:  # pragma: no cover - guard
+        raise SystemExit(f"serving clients failed: {failed[:3]}")
+    op_seconds = [t for s in stats for t in s.op_seconds]
+    commit_seconds = [t for s in stats for t in s.commit_seconds]
+    out.ops = sum(s.ops for s in stats)
+    out.commits = sum(s.commits for s in stats)
+    out.retries = sum(s.retries for s in stats)
+    out.ops_per_second = (out.ops / out.wall_seconds
+                          if out.wall_seconds else 0.0)
+    out.p50_ms = _percentile(op_seconds, 0.50)
+    out.p99_ms = _percentile(op_seconds, 0.99)
+    out.commit_p50_ms = _percentile(commit_seconds, 0.50)
+    out.commit_p99_ms = _percentile(commit_seconds, 0.99)
+    return out
+
+
+def run_points(client_counts, *, n_shards: int, total_keys: int,
+               ops_per_client: int, page_size: int, seed: int,
+               write_latency: float, sync_latency: float,
+               read_fraction: float,
+               verbose: bool = True) -> list[ServingPoint]:
+    points = []
+    for clients in client_counts:
+        point = ServingPoint(clients=clients)
+        point.per_commit = measure_mode(
+            "per_commit", clients, n_shards=n_shards,
+            total_keys=total_keys, ops_per_client=ops_per_client,
+            page_size=page_size, seed=seed,
+            write_latency=write_latency, sync_latency=sync_latency,
+            read_fraction=read_fraction)
+        point.group = measure_mode(
+            "group", clients, n_shards=n_shards, total_keys=total_keys,
+            ops_per_client=ops_per_client, page_size=page_size,
+            seed=seed, write_latency=write_latency,
+            sync_latency=sync_latency, read_fraction=read_fraction)
+        points.append(point)
+        if verbose:
+            pc, gr = point.per_commit, point.group
+            print(f"{clients:>3} client(s): per-commit "
+                  f"{pc.ops_per_second:8.0f} ops/s  group "
+                  f"{gr.ops_per_second:8.0f} ops/s  "
+                  f"({point.speedup:5.2f}x)  occupancy "
+                  f"{gr.window_occupancy:5.2f}  p99 "
+                  f"{pc.p99_ms:7.2f}ms vs {gr.p99_ms:7.2f}ms",
+                  file=sys.stderr)
+    return points
+
+
+def to_document(points: list[ServingPoint], config: dict) -> dict:
+    at16 = [p.speedup for p in points if p.clients == 16]
+    speedup_at_16 = at16[0] if at16 else 0.0
+    return {
+        "bench": "serving",
+        "config": config,
+        "results": [
+            {
+                "clients": p.clients,
+                "speedup": p.speedup,
+                "per_commit": asdict(p.per_commit)
+                if p.per_commit else None,
+                "group": asdict(p.group) if p.group else None,
+            }
+            for p in points
+        ],
+        "speedup_at_16": speedup_at_16,
+        "ok": bool(speedup_at_16 >= 2.0),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.serving", description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI-sized run (fewer ops per client, lower "
+                             "simulated latency)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit one JSON document on stdout (progress "
+                             "goes to stderr)")
+    parser.add_argument("--clients", default=None,
+                        help="comma-separated client counts "
+                             "(default: 1,4,16,64)")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--keys", type=int, default=None,
+                        help="preloaded keys (default: 3000; smoke: "
+                             "1500)")
+    parser.add_argument("--ops", type=int, default=None,
+                        help="mixed ops per client (default: 200; "
+                             "smoke: 80)")
+    parser.add_argument("--read-fraction", type=float, default=0.5)
+    parser.add_argument("--page-size", type=int, default=512)
+    parser.add_argument("--seed", type=int, default=17)
+    parser.add_argument("--write-latency", type=float, default=None,
+                        help="simulated seconds per page write during "
+                             "the measured phase (default: 0.0005; "
+                             "smoke: 0.0003)")
+    parser.add_argument("--sync-latency", type=float, default=None,
+                        help="simulated fixed seconds per durability "
+                             "barrier (the fsync analogue; default: "
+                             "0.005; smoke: 0.004)")
+    args = parser.parse_args(argv)
+
+    client_counts = [int(s) for s in
+                     (args.clients or "1,4,16,64").split(",")]
+    total_keys = args.keys or (1500 if args.smoke else 3000)
+    ops_per_client = args.ops or (80 if args.smoke else 200)
+    write_latency = (args.write_latency
+                     if args.write_latency is not None
+                     else (0.0003 if args.smoke else 0.0005))
+    sync_latency = (args.sync_latency
+                    if args.sync_latency is not None
+                    else (0.004 if args.smoke else 0.005))
+
+    config = {
+        "smoke": args.smoke, "client_counts": client_counts,
+        "n_shards": args.shards, "total_keys": total_keys,
+        "ops_per_client": ops_per_client,
+        "read_fraction": args.read_fraction,
+        "commit_every": COMMIT_EVERY, "theta": THETA,
+        "page_size": args.page_size, "seed": args.seed,
+        "write_latency": write_latency,
+        "sync_latency": sync_latency,
+    }
+    points = run_points(client_counts, n_shards=args.shards,
+                        total_keys=total_keys,
+                        ops_per_client=ops_per_client,
+                        page_size=args.page_size, seed=args.seed,
+                        write_latency=write_latency,
+                        sync_latency=sync_latency,
+                        read_fraction=args.read_fraction)
+    doc = to_document(points, config)
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(f"\ngroup commit beats sync-per-commit by >=2x at 16 "
+              f"clients: {doc['ok']} "
+              f"({doc['speedup_at_16']:.2f}x)")
+    return 0 if doc["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -112,10 +112,12 @@ def _restore(group: ShardedEngine, snaps: list[dict]) -> None:
 
 
 def _set_latency(group: ShardedEngine, read_latency: float,
-                 write_latency: float) -> None:
+                 write_latency: float,
+                 sync_latency: float = 0.0) -> None:
     for engine in group.shards:
         engine.read_latency = read_latency
         engine.write_latency = write_latency
+        engine.sync_latency = sync_latency
         for disk in engine._disks.values():
             disk.read_latency = read_latency
             disk.write_latency = write_latency

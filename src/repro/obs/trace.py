@@ -40,6 +40,9 @@ EVENT_TYPES: frozenset[str] = frozenset({
     # instant restart: background-heal progress for one admitted shard
     # (periodic unit-count checkpoints, completion, or mid-heal failure)
     "heal_progress",
+    # serving front-end: one group-commit barrier (window ordinal, how
+    # many client commits it covered, how many it acked)
+    "serve_commit",
 })
 
 DEFAULT_CAPACITY = 4096

@@ -1,0 +1,179 @@
+"""Cross-client group commit: one barrier acknowledges many commits.
+
+The naive serving discipline syncs every client's dirty shards at every
+commit — N clients commit, N engine syncs run, each re-writing whatever
+hot pages went dirty since the last one.  But commit *ordering* between
+independent clients is unconstrained, so their durability points can
+share one barrier: this stage collects pending commits (waiting a short
+aggregation window so concurrent committers pile in), closes a single
+group sync over all of them, and acks every commit the sync proved
+durable.  Each hot page is then written once per *window*, not once per
+commit — the amortization the serving benchmark measures.
+
+Ownership discipline: shard engines may only be touched by their owner
+threads, so the barrier never syncs an engine itself — it goes through
+:meth:`~repro.shard.scheduler.GroupSyncScheduler.sync_group_parallel`,
+which submits each shard's sync to that shard's own owner thread.  Two
+properties fall out for free: the per-shard syncs overlap (the barrier
+costs one slowest-shard sync, not the sum), and FIFO submission means
+every operation a client completed before committing is applied before
+its shard syncs, so the ack really covers the client's writes.
+
+A commit is acknowledged only if **none** of the shards it wrote to
+crashed inside (or were already dead at) its covering window; anything
+else fails with a typed :class:`~repro.serve.errors.CommitFailed` and
+the client knows its writes are not durable.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import monotonic
+
+from ..errors import ReproError
+from ..obs import get_registry, get_trace
+from .errors import CommitFailed, ServeError, ServerClosed
+from .request import DEFAULT_WAIT_SECONDS, CommitRequest
+
+#: Upper bound on commits folded into one barrier (keeps a single
+#: window's ack latency bounded under a commit storm).
+DEFAULT_MAX_WINDOW = 256
+
+#: How long the committer lingers after the first pending commit so
+#: concurrent committers can join the same window.  The classic group
+#: commit timer: a little added latency for one client buys one shared
+#: barrier for many.
+DEFAULT_WINDOW_DELAY = 0.002
+
+
+class GroupCommitStage:
+    """Batches concurrent clients' commits under shared sync barriers."""
+
+    def __init__(self, group, scheduler, pool, *,
+                 max_window: int = DEFAULT_MAX_WINDOW,
+                 window_delay: float = DEFAULT_WINDOW_DELAY,
+                 autostart: bool = True):
+        self.group = group
+        self.scheduler = scheduler
+        self.pool = pool
+        self.max_window = max_window
+        self.window_delay = window_delay
+        self._cv = threading.Condition()
+        self._pending: list[CommitRequest] = []
+        self._stopping = False
+        self._thread: threading.Thread | None = None
+        reg = get_registry()
+        self._m_windows = reg.counter("serve.commit.windows")
+        self._m_acked = reg.counter("serve.commit.acked")
+        self._m_failed = reg.counter("serve.commit.failed")
+        if autostart:
+            self.start()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        with self._cv:
+            if self._thread is not None or self._stopping:
+                return
+            self._thread = threading.Thread(
+                target=self._loop, name="group-committer", daemon=True)
+            self._thread.start()
+
+    def stop(self) -> None:
+        """Flush every already-pending commit through one final barrier,
+        then stop accepting and join the committer.  Idempotent."""
+        with self._cv:
+            self._stopping = True
+            self._cv.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout=DEFAULT_WAIT_SECONDS)
+        # started with autostart=False and never run: drain inline so
+        # pending commits still resolve instead of hanging their waiters
+        if thread is None:
+            self.drain_once()
+
+    # -- submission (any client thread) ----------------------------------
+
+    def submit(self, commit: CommitRequest) -> None:
+        with self._cv:
+            if self._stopping:
+                raise ServerClosed("server is closing; commit rejected")
+            self._pending.append(commit)
+            self._cv.notify()
+
+    def pending_count(self) -> int:
+        with self._cv:
+            return len(self._pending)
+
+    # -- the committer ---------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._stopping:
+                    self._cv.wait()
+                if not self._pending and self._stopping:
+                    return
+                # aggregation window: linger so concurrent committers
+                # join this barrier instead of forcing the next one
+                if self.window_delay > 0 and not self._stopping:
+                    deadline = monotonic() + self.window_delay
+                    while (len(self._pending) < self.max_window
+                           and not self._stopping):
+                        remaining = deadline - monotonic()
+                        if remaining <= 0:
+                            break
+                        self._cv.wait(timeout=remaining)
+                batch = self._pending[:self.max_window]
+                del self._pending[:len(batch)]
+            if batch:
+                self._barrier(batch)
+
+    def drain_once(self) -> int:
+        """Run one barrier over everything currently pending (test and
+        inline-flush seam; the committer thread must not be running).
+        Returns the number of commits covered."""
+        with self._cv:
+            batch = self._pending[:self.max_window]
+            del self._pending[:len(batch)]
+        if batch:
+            self._barrier(batch)
+        return len(batch)
+
+    def _barrier(self, batch: list[CommitRequest]) -> None:
+        """Close one group sync window over *batch*, then ack or fail
+        each commit against what the window proved durable."""
+        try:
+            crashed = set(self.scheduler.sync_group_parallel(
+                self.pool, commits=len(batch)))
+        except ServeError as exc:  # pragma: no cover - defensive
+            self._fail_batch(batch, exc)
+            return
+        except ReproError as exc:   # pool closed underneath us
+            self._fail_batch(batch, ServerClosed(
+                f"worker pool closed during commit barrier: {exc}"))
+            return
+        window = self.scheduler.window
+        dead = {i for i, shard in enumerate(self.group.shards)
+                if shard.dead}
+        acked = 0
+        for commit in batch:
+            bad = sorted(set(commit.shards) & (crashed | dead))
+            if bad:
+                self._m_failed.inc()
+                commit.future.set_error(CommitFailed(bad, window))
+            else:
+                acked += 1
+                commit.future.set_result(window)
+        self._m_windows.inc()
+        self._m_acked.inc(acked)
+        get_trace().emit("serve_commit", window=window,
+                         commits=len(batch), acked=acked,
+                         crashed=sorted(crashed | dead))
+
+    def _fail_batch(self, batch: list[CommitRequest],
+                    error: ServeError) -> None:
+        for commit in batch:
+            self._m_failed.inc()
+            commit.future.set_error(error)

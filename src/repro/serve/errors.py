@@ -1,0 +1,67 @@
+"""Typed errors of the serving front-end.
+
+Every failure a client can see is a distinct type with an explicit
+``retryable`` flag, because the serving layer's contract is *bounded*:
+overload rejects instead of queueing without limit, shutdown rejects
+instead of hanging, and a commit that cannot be proven durable fails
+loudly rather than acking optimistically.
+"""
+
+from __future__ import annotations
+
+from ..errors import ReproError
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures."""
+
+    #: whether retrying the same request later can succeed without any
+    #: operator intervention
+    retryable = False
+
+
+class ServerClosed(ServeError):
+    """The server is shutting down (or already closed).
+
+    Raised for submissions that race ``Server.close`` — a session must
+    get this typed error immediately, never a hang behind the worker
+    pool's shutdown sentinel.
+    """
+
+
+class Overloaded(ServeError):
+    """Admission control rejected the request: the target shard's queue
+    is full.  Retryable by definition — backpressure asks the client to
+    slow down, not to go away."""
+
+    retryable = True
+
+    def __init__(self, shard: int, depth: int):
+        super().__init__(
+            f"shard {shard} queue is full ({depth} requests pending); "
+            "retry after a backoff")
+        self.shard = shard
+        self.depth = depth
+
+
+class CommitFailed(ServeError):
+    """A commit's covering group sync could not prove durability: at
+    least one shard the commit wrote to crashed (or was already dead)
+    inside the barrier window.  The writes are *not* acknowledged —
+    recover the group, then retry the transaction."""
+
+    def __init__(self, shards: list[int], window: int):
+        super().__init__(
+            f"commit not durable: shard(s) {shards} failed inside "
+            f"group sync window {window}")
+        self.shards = list(shards)
+        self.window = window
+
+
+class RequestTimeout(ServeError):
+    """A request's future did not resolve within its wait deadline.
+
+    The request may still be executing on the owner thread; the timeout
+    bounds the *caller's* wait, it does not cancel the work."""
+
+    retryable = True

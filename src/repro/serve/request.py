@@ -1,0 +1,96 @@
+"""Request and future primitives shared by the serving pipeline.
+
+A client's operation travels as a :class:`Request` — op name, value,
+routed shard, and an :class:`OpFuture` the shard's owner thread resolves
+exactly once.  Commits travel separately as :class:`CommitRequest`
+objects carrying the set of shards whose durability the ack must cover.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from time import perf_counter
+
+from .errors import RequestTimeout
+
+#: Default bound on any blocking wait in the serving layer.  Generous —
+#: it exists to turn a wedged pipeline into a typed error, not to pace
+#: normal traffic.
+DEFAULT_WAIT_SECONDS = 60.0
+
+#: Operations a session may submit to the dispatch pipeline.
+OPS = ("lookup", "insert", "delete", "update")
+
+#: The subset of OPS that dirties the routed shard (commit must cover).
+WRITE_OPS = ("insert", "delete", "update")
+
+
+class OpFuture:
+    """One-shot result slot resolved by a shard owner thread."""
+
+    __slots__ = ("_event", "_result", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._result: object = None
+        self._error: BaseException | None = None
+
+    # -- producer side (resolved exactly once) -------------------------
+    #
+    # Safe-publication ordering, not a lock: exactly one producer writes
+    # the slot, then Event.set() publishes it; consumers wait() before
+    # reading, so the event is the happens-before edge.
+
+    def set_result(self, value: object) -> None:
+        self._result = value    # lint: disable=R016
+        self._event.set()
+
+    def set_error(self, error: BaseException) -> None:
+        self._error = error     # lint: disable=R016
+        self._event.set()
+
+    # -- consumer side --------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: float = DEFAULT_WAIT_SECONDS) -> bool:
+        """Block until resolved (errors included); True when resolved."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: float = DEFAULT_WAIT_SECONDS) -> object:
+        """The operation's result; re-raises the operation's error."""
+        if not self._event.wait(timeout):
+            raise RequestTimeout(
+                f"request did not resolve within {timeout:.0f}s")
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def error(self) -> BaseException | None:
+        """The stored error without raising (None while unresolved/ok)."""
+        return self._error
+
+
+@dataclass
+class Request:
+    """One routed operation in flight through the dispatch pipeline."""
+
+    op: str                     # one of OPS
+    value: object
+    tid: object = None          # insert/update payload
+    shard: int = -1             # routed shard index
+    session_id: int = -1
+    future: OpFuture = field(default_factory=OpFuture)
+    submitted_at: float = field(default_factory=perf_counter)
+
+
+@dataclass
+class CommitRequest:
+    """One client's commit point awaiting a covering group sync."""
+
+    shards: frozenset[int]      # shards dirtied since the last commit
+    session_id: int = -1
+    future: OpFuture = field(default_factory=OpFuture)
+    submitted_at: float = field(default_factory=perf_counter)

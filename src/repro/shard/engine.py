@@ -27,7 +27,7 @@ from typing import Iterator, Sequence
 
 from ..core import TREE_CLASSES, open_tree
 from ..core.keys import CODECS, KeyCodec
-from ..errors import CrashError, ReproError
+from ..errors import CrashError, KeyNotFoundError, ReproError
 from ..obs import get_registry, get_trace
 from ..storage.engine import EngineDeadError, StorageEngine
 from .router import ShardRouter
@@ -215,6 +215,22 @@ class ShardedTree:
 
     def delete(self, value: object) -> None:
         self._tree_for(value).delete(value)
+
+    def update(self, value: object, tid: object) -> bool:
+        """Upsert: point *value* at *tid*, replacing any existing entry
+        (the pgbench-style mixed workload's write op).  Returns True
+        when an entry was replaced, False when this was a fresh insert.
+        Atomic per shard — both steps run against one shard's tree, so
+        under the one-thread-per-shard discipline no reader can observe
+        the gap between delete and insert."""
+        tree = self._tree_for(value)
+        try:
+            tree.delete(value)
+            existed = True
+        except KeyNotFoundError:
+            existed = False
+        tree.insert(value, tid)
+        return existed
 
     def insert_many(self, pairs) -> int:
         """Batched insert: group by target shard, then let each shard's

@@ -46,6 +46,11 @@ class GroupSyncScheduler:
         self.window = 0
         #: shard index -> window ordinal it last crashed in
         self.crash_windows: dict[int, int] = {}
+        #: group-commit bookkeeping: total client commits acknowledged
+        #: through barriers, and how many barriers carried commits — the
+        #: ratio is the amortization factor the serving layer buys
+        self.commits_coalesced = 0
+        self.commit_windows = 0
         self._lock = threading.Lock()
         reg = get_registry()
         self._m_pressure = reg.counter("shard.sync.triggered",
@@ -56,6 +61,11 @@ class GroupSyncScheduler:
         self._m_crashes = reg.counter("shard.group.crashes_in_window")
         self._h_dirty = reg.histogram("shard.sync.dirty_frames",
                                       bounds=COUNT_BUCKETS)
+        # group-commit amortization: commits carried per barrier window
+        # (observable through ``python -m repro.tools.stats``)
+        self._m_commits = reg.counter("shard.group.commits_coalesced")
+        self._h_occupancy = reg.histogram("shard.group.window_occupancy",
+                                          bounds=COUNT_BUCKETS)
 
     # -- pressure path (called by the owning worker thread) ----------------
 
@@ -89,14 +99,27 @@ class GroupSyncScheduler:
 
     # -- barrier path ------------------------------------------------------
 
-    def sync_group(self) -> list[int]:
+    def sync_group(self, commits: int = 0) -> list[int]:
         """Close one group sync window: sync every live shard that has
         dirty frames; record and isolate crashes.  Returns the shards
-        that crashed inside this window."""
+        that crashed inside this window.
+
+        *commits* is the number of client commits this barrier covers
+        (the group-commit stage passes its batch size).  The per-window
+        occupancy is the amortization factor — many commits riding one
+        barrier is the whole point of cross-client group commit — and
+        is recorded so the serving stats can report it.
+        """
         with self._lock:
             self.window += 1
             window = self.window
+            if commits:
+                self.commits_coalesced += commits
+                self.commit_windows += 1
         self._m_windows.inc()
+        if commits:
+            self._m_commits.inc(commits)
+            self._h_occupancy.observe(commits)
         synced: list[int] = []
         crashed: list[int] = []
         for index in self.group.live_shards():
@@ -115,5 +138,84 @@ class GroupSyncScheduler:
                 with self._lock:
                     self.crash_windows[index] = window
         get_trace().emit("group_sync", window=window, synced=synced,
-                         crashed=crashed)
+                         crashed=crashed, commits=commits)
         return crashed
+
+    def sync_group_parallel(self, pool, commits: int = 0) -> list[int]:
+        """Close one group sync window with each shard synced **on its
+        own owner thread** (via *pool*, a
+        :class:`~repro.shard.workers.ShardWorkerPool`).
+
+        Semantically identical to :meth:`sync_group` — same window
+        ordinal, same skip rule, same crash bookkeeping — but the
+        per-shard syncs overlap: each owner writes its shard's dirty
+        pages concurrently with its siblings, so the barrier costs one
+        slowest-shard sync instead of the sum.  FIFO submission also
+        means every operation admitted to a shard before the barrier is
+        applied before the shard syncs — exactly the coverage a group
+        commit's acks need.  Raises whatever ``pool.submit`` raises
+        when the pool is closed.
+        """
+        with self._lock:
+            self.window += 1
+            window = self.window
+            if commits:
+                self.commits_coalesced += commits
+                self.commit_windows += 1
+        self._m_windows.inc()
+        if commits:
+            self._m_commits.inc(commits)
+            self._h_occupancy.observe(commits)
+        synced: list[int] = []
+        crashed: list[int] = []
+        boxes: dict[int, dict] = {}
+        waits = []
+        for index in self.group.live_shards():
+            box: dict = {}
+            boxes[index] = box
+            done, errbox = pool.submit(
+                index, self._window_sync_fn(index, window, box))
+            waits.append((index, done, errbox))
+        for index, done, errbox in waits:
+            done.wait()
+            if boxes[index].get("crashed") or errbox.get("error"):
+                crashed.append(index)
+            elif boxes[index].get("synced"):
+                synced.append(index)
+        get_trace().emit("group_sync", window=window, synced=synced,
+                         crashed=crashed, commits=commits)
+        return crashed
+
+    def _window_sync_fn(self, index: int, window: int, box: dict):
+        """The owner-thread half of :meth:`sync_group_parallel`."""
+        def sync_one() -> None:
+            engine = self.group.shard(index)
+            if engine.dead:
+                box["crashed"] = True
+                return
+            dirty = engine.dirty_page_count()
+            if dirty == 0 and not engine.sync_state.split_since_sync:
+                return
+            self._h_dirty.observe(dirty)
+            self._m_barrier.inc()
+            try:
+                self.group.sync_shard(index)
+                box["synced"] = True
+            except CrashError:
+                box["crashed"] = True
+                self._m_crashes.inc()
+                self._record_crash(index, window)
+        return sync_one
+
+    def _record_crash(self, index: int, window: int) -> None:
+        with self._lock:
+            self.crash_windows[index] = window
+
+    @property
+    def amortization(self) -> float:
+        """Mean commits acknowledged per commit-carrying barrier (0.0
+        before the first group-commit window closes)."""
+        with self._lock:
+            if not self.commit_windows:
+                return 0.0
+            return self.commits_coalesced / self.commit_windows

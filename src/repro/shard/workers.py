@@ -172,6 +172,30 @@ class ShardWorkerPool:
         self._m_op_errors.inc(len(report.errors()))
         return report
 
+    def submit(self, shard_index: int, fn) \
+            -> tuple[threading.Event, dict]:
+        """Run the zero-argument callable *fn* on *shard_index*'s owner
+        thread, FIFO-ordered with batch and heal items — the serving
+        layer's building block (its dispatcher feeds drain passes and
+        group-commit barriers through here so every touch of a shard's
+        engine stays on the shard's one owner thread).
+
+        Returns ``(done_event, errbox)``.  *fn* is expected to handle
+        its own errors; anything that escapes is captured into
+        ``errbox["error"]`` (never raised on the worker) so the owner
+        thread survives for its siblings' work.
+        """
+        done = threading.Event()
+        errbox: dict = {}
+        with self._lifecycle:
+            # closed-check and enqueue are one atomic step, same as
+            # run_batch: a submission racing close() must raise, never
+            # land behind the shutdown sentinel
+            if self._closed:
+                raise ReproError("worker pool is closed")
+            self._queues[shard_index].put(("call", fn, done, errbox))
+        return done, errbox
+
     def run_heal(self, max_units_per_shard: int | None = None) \
             -> list[int]:
         """Drain the background heal queue on the owner threads — the
@@ -216,6 +240,17 @@ class ShardWorkerPool:
                 try:
                     self._run_partition(shard_index, partition, results,
                                         crashed, crashed_lock)
+                finally:
+                    done.set()
+            elif item[0] == "call":
+                _, fn, done, errbox = item
+                try:
+                    fn()
+                except Exception as exc:  # lint: disable=R005
+                    # a submitted closure let an error escape its own
+                    # handling: record it for the submitter — the owner
+                    # thread must survive for its shard's later work
+                    errbox["error"] = exc
                 finally:
                     done.set()
             else:

@@ -21,6 +21,7 @@ maximum).  No log is processed; indexes repair themselves on first use.
 from __future__ import annotations
 
 import random
+import time
 from time import perf_counter
 from typing import Callable
 
@@ -59,7 +60,8 @@ class StorageEngine:
                  counter_batch: int = SYNC_COUNTER_BATCH,
                  pool_capacity: int | None = None,
                  read_latency: float = 0.0,
-                 write_latency: float = 0.0):
+                 write_latency: float = 0.0,
+                 sync_latency: float = 0.0):
         self.page_size = page_size
         self.pool_capacity = pool_capacity
         self._rng = random.Random(seed)
@@ -67,6 +69,11 @@ class StorageEngine:
         self._counter_batch = counter_batch
         self.read_latency = read_latency
         self.write_latency = write_latency
+        #: fixed per-sync barrier cost (the fsync analogue): a real
+        #: durability barrier pays a device flush regardless of how few
+        #: pages it writes, which is exactly what makes group commit
+        #: worthwhile — the sleep releases the GIL like the disk ones
+        self.sync_latency = sync_latency
         self.dead = False
         #: True once :meth:`shutdown` completed; distinguishes a clean stop
         #: from a crash for :meth:`reopen_after_crash`'s rejection check
@@ -128,10 +135,12 @@ class StorageEngine:
                counter_batch: int = SYNC_COUNTER_BATCH,
                pool_capacity: int | None = None,
                read_latency: float = 0.0,
-               write_latency: float = 0.0) -> "StorageEngine":
+               write_latency: float = 0.0,
+               sync_latency: float = 0.0) -> "StorageEngine":
         return cls(page_size=page_size, seed=seed,
                    counter_batch=counter_batch, pool_capacity=pool_capacity,
-                   read_latency=read_latency, write_latency=write_latency)
+                   read_latency=read_latency, write_latency=write_latency,
+                   sync_latency=sync_latency)
 
     @classmethod
     def reopen(cls, dead_engine: "StorageEngine", *,
@@ -149,7 +158,8 @@ class StorageEngine:
                    counter_batch=dead_engine._counter_batch,
                    pool_capacity=dead_engine.pool_capacity,
                    read_latency=dead_engine.read_latency,
-                   write_latency=dead_engine.write_latency)
+                   write_latency=dead_engine.write_latency,
+                   sync_latency=dead_engine.sync_latency)
 
     @classmethod
     def reopen_after_crash(cls, dead_engine: "StorageEngine", *,
@@ -233,6 +243,10 @@ class StorageEngine:
         if survivors is None:
             for name, page_no in order:
                 self._disks[name].write_page(page_no, batches[name][page_no])
+            if self.sync_latency > 0:
+                # the durability barrier itself: paid once per sync no
+                # matter how few pages went out (sleep releases the GIL)
+                time.sleep(self.sync_latency)
             for name, file in self._files.items():
                 file.pool.clear_dirty(iter(batches[name]))
                 file.freelist.drain_after_sync()

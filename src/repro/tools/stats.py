@@ -158,6 +158,56 @@ def run_sharded_demo_workload(kind: str, *, n_shards: int = 4,
     group.shutdown()
 
 
+def run_serving_demo_workload(kind: str, *, n_clients: int = 4,
+                              n_shards: int = 4, keys: int = 400,
+                              page_size: int = 512,
+                              seed: int = 13) -> None:
+    """Serving-layer demo: *n_clients* concurrent sessions push a mixed
+    read/update workload through one :class:`~repro.serve.Server` in
+    group-commit mode.  Fills the ``serve.*`` metrics and the group
+    window-occupancy histogram that ``--serving`` exists to show."""
+    import threading
+
+    from ..serve import Server
+    from ..shard import GroupSyncScheduler, ShardedEngine
+    from ..workload.generators import mixed_ops
+
+    group = ShardedEngine.create(n_shards, page_size=page_size, seed=seed)
+    tree = group.create_tree(kind, "ix", codec="uint32")
+    for k in range(keys):
+        tree.insert(k, TID(1, k % 100))
+    group.sync_all()
+    scheduler = GroupSyncScheduler(group)
+    failures: list[str] = []
+    with Server(group.open_tree("ix"), scheduler=scheduler) as server:
+        def client(cid: int) -> None:
+            try:
+                session = server.session()
+                ops = mixed_ops(keys // n_clients, keys,
+                                seed=seed * 17 + cid)
+                for i, (op, key) in enumerate(ops):
+                    if op == "read":
+                        session.get(key)
+                    else:
+                        session.update(key, TID(7, key % 100))
+                    if (i + 1) % 8 == 0:
+                        session.commit()
+                session.commit()
+            except Exception as exc:  # lint: disable=R005
+                # collected below and turned into one loud exit — a
+                # daemon client must not kill the demo silently
+                failures.append(f"{type(exc).__name__}: {exc}")
+
+        threads = [threading.Thread(target=client, args=(cid,))
+                   for cid in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    if failures:  # pragma: no cover - guard
+        raise SystemExit(f"{kind}: serving demo failed: {failures[:3]}")
+
+
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
@@ -189,6 +239,37 @@ def _fastpath_summary(snapshot: dict) -> dict | None:
     }
 
 
+def _serving_summary(snapshot: dict) -> dict | None:
+    """Aggregate the ``serve.*`` counters and the group-commit
+    amortization (commits per barrier window) into one section."""
+    counters = snapshot.get("counters", {})
+    totals: dict[str, int] = {}
+    requests_by_op: dict[str, int] = {}
+    for key, val in counters.items():
+        if key.startswith("serve.requests["):
+            op = key.split("op=", 1)[1].rstrip("]")
+            requests_by_op[op] = requests_by_op.get(op, 0) + val
+            totals["serve.requests"] = totals.get("serve.requests", 0) + val
+        elif key.startswith("serve."):
+            base = key.split("[", 1)[0]
+            totals[base] = totals.get(base, 0) + val
+    occupancy = snapshot.get("histograms", {}).get(
+        "shard.group.window_occupancy")
+    coalesced = counters.get("shard.group.commits_coalesced", 0)
+    if not totals and not coalesced:
+        return None
+    windows = occupancy["count"] if occupancy else 0
+    return {
+        "totals": totals,
+        "requests_by_op": requests_by_op,
+        "commit_windows": windows,
+        "commits_coalesced": coalesced,
+        "amortization": (round(coalesced / windows, 4)
+                         if windows else None),
+        "max_window_occupancy": occupancy["max"] if occupancy else None,
+    }
+
+
 def collect(recent: int = _RECENT_EVENTS) -> dict:
     """One JSON-ready document: metrics snapshot + trace summary."""
     trace = get_trace()
@@ -196,6 +277,7 @@ def collect(recent: int = _RECENT_EVENTS) -> dict:
     return {
         "metrics": metrics,
         "fastpath": _fastpath_summary(metrics),
+        "serving": _serving_summary(metrics),
         "trace": {
             "counts": trace.counts(),
             "recent": [e.to_dict() for e in trace.events()[-recent:]],
@@ -215,6 +297,30 @@ def render_report(doc: dict) -> str:
                          f"{'-' if value is None else f'{value:.1%}'}")
         lines.append(f"  {'descents amortized':<22} "
                      f"{fastpath['descents_amortized']}")
+    serving = doc.get("serving")
+    if serving:
+        lines += ["", "serving summary:"]
+        by_op = serving.get("requests_by_op", {})
+        if by_op:
+            ops = ", ".join(f"{op}={n}" for op, n in sorted(by_op.items()))
+            lines.append(f"  {'requests':<22} "
+                         f"{serving['totals'].get('serve.requests', 0)} "
+                         f"({ops})")
+        for label, key in (("overload rejections", "serve.overloaded"),
+                           ("drain batches", "serve.batches"),
+                           ("coalesced writes", "serve.coalesced_ops"),
+                           ("commits acked", "serve.commit.acked"),
+                           ("commits failed", "serve.commit.failed")):
+            if key in serving["totals"]:
+                lines.append(f"  {label:<22} {serving['totals'][key]}")
+        amort = serving.get("amortization")
+        lines.append(
+            f"  {'group-commit windows':<22} {serving['commit_windows']} "
+            f"({serving['commits_coalesced']} commits"
+            + (f", {amort:.2f}x amortized" if amort else "") + ")")
+        if serving.get("max_window_occupancy") is not None:
+            lines.append(f"  {'max window occupancy':<22} "
+                         f"{serving['max_window_occupancy']}")
     lines += ["", "trace event counts:"]
     counts = doc["trace"]["counts"]
     if counts:
@@ -281,6 +387,11 @@ def main(argv=None) -> int:
                              "workload, populating the shard-labelled "
                              "metrics (per-shard repair latency, group "
                              "sync windows)")
+    parser.add_argument("--serving", type=int, default=0, metavar="N",
+                        help="also run an N-client concurrent serving "
+                             "workload (group-commit mode), populating "
+                             "the serve.* metrics and the group commit "
+                             "window-occupancy summary")
     parser.add_argument("--page-size", type=int, default=512)
     parser.add_argument("--no-workload", action="store_true",
                         help="skip the demo workload; dump whatever the "
@@ -311,6 +422,17 @@ def main(argv=None) -> int:
             if args.watch and not args.json:
                 after = get_registry().snapshot()
                 print(f"--- {kinds[0]} x{args.shards} shards ---")
+                print(_render_diff(diff_snapshots(before, after)))
+                print()
+        if args.serving > 0:
+            before = get_registry().snapshot()
+            run_serving_demo_workload(kinds[0],
+                                      n_clients=args.serving,
+                                      page_size=args.page_size)
+            if args.watch and not args.json:
+                after = get_registry().snapshot()
+                print(f"--- {kinds[0]} serving x{args.serving} "
+                      "clients ---")
                 print(_render_diff(diff_snapshots(before, after)))
                 print()
 

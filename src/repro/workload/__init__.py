@@ -5,6 +5,7 @@ from .generators import (
     descending,
     duplicate_values,
     interleaved_batches,
+    mixed_ops,
     random_permutation,
     skewed,
     uniform_lookups,
@@ -38,6 +39,7 @@ __all__ = [
     "duplicate_values",
     "format_table1",
     "interleaved_batches",
+    "mixed_ops",
     "normalized_cell",
     "random_permutation",
     "repeat",

@@ -129,6 +129,30 @@ def zipfian_keys(n: int, *, theta: float = 0.99,
     return out
 
 
+def mixed_ops(n_ops: int, key_range: int, *,
+              read_fraction: float = 0.5, theta: float = 0.99,
+              seed: int = 0) -> list[tuple[str, int]]:
+    """pgbench-style mixed traffic: *n_ops* ``("read", key)`` /
+    ``("update", key)`` pairs over a Zipfian key stream.
+
+    Each op independently reads with probability *read_fraction* and
+    updates otherwise; keys come from :func:`zipfian` so the hot set is
+    hammered by readers and writers alike — the contention profile a
+    serving layer's batching and group commit actually face.  Updates
+    are upserts (the key may or may not exist yet), matching pgbench's
+    UPDATE-by-primary-key against a preloaded table.
+    """
+    if not 0.0 <= read_fraction <= 1.0:
+        raise ValueError(
+            f"read_fraction must be in [0, 1], got {read_fraction}")
+    keys = zipfian(n_ops, key_range, theta=theta, seed=seed)
+    # decorrelate the op coin from the key stream: same keys, different
+    # read/write colouring per seed
+    coin = random.Random(seed * 0x9E3779B1 + 1)
+    return [("read" if coin.random() < read_fraction else "update", key)
+            for key in keys]
+
+
 def duplicate_values(n: int, *, distinct: int = 100,
                      seed: int = 0) -> list[bytes]:
     """Duplicate-heavy workload already rewritten as unique

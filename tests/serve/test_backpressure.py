@@ -1,0 +1,105 @@
+"""Admission control: bounded queues reject with a typed, retryable
+error instead of buffering without limit.
+
+The owner thread is parked on a gate so the test controls exactly how
+much the target shard's buffer holds — no sleeps, no racing the drain.
+"""
+
+import threading
+
+import pytest
+
+from repro import TID
+from repro.obs import scoped_registry
+from repro.serve import Overloaded, ServeError, Server
+from repro.shard import ShardedEngine
+
+PAGE = 512
+DEPTH = 4
+
+
+def tid_for(i):
+    return TID(1, i % 100)
+
+
+def make(**kwargs):
+    group = ShardedEngine.create(4, page_size=PAGE, seed=13)
+    tree = group.create_tree("hybrid", "ix", codec="uint32")
+    server = Server(tree, max_queue_depth=DEPTH, **kwargs)
+    return group, tree, server
+
+
+def keys_on_shard(tree, shard, count, start=0):
+    out = []
+    k = start
+    while len(out) < count:
+        if tree.shard_of(k) == shard:
+            out.append(k)
+        k += 1
+    return out
+
+
+def test_overload_is_typed_retryable_and_recoverable():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        keys = keys_on_shard(tree, 0, DEPTH + 1)
+        gate = threading.Event()
+        server.pool.submit(0, lambda: gate.wait(10))
+        admitted = [s.submit("insert", k, tid_for(k))
+                    for k in keys[:DEPTH]]
+        assert server.queues.depth(0) == DEPTH
+        with pytest.raises(Overloaded) as info:
+            s.submit("insert", keys[DEPTH], tid_for(keys[DEPTH]))
+        error = info.value
+        assert isinstance(error, ServeError)
+        assert error.retryable
+        assert error.shard == 0
+        assert error.depth == DEPTH
+        # the rejection consumed no queue space
+        assert server.queues.depth(0) == DEPTH
+        gate.set()
+        for r in admitted:
+            assert r.future.result() is None
+        # the retry the error asked for now succeeds
+        s.insert(keys[DEPTH], tid_for(keys[DEPTH]))
+        assert s.get(keys[DEPTH]) == tid_for(keys[DEPTH])
+
+
+def test_overload_increments_the_rejection_counter():
+    with scoped_registry() as reg:
+        group, tree, server = make()
+        with server:
+            s = server.session()
+            keys = keys_on_shard(tree, 0, DEPTH + 2)
+            gate = threading.Event()
+            server.pool.submit(0, lambda: gate.wait(10))
+            for k in keys[:DEPTH]:
+                s.submit("insert", k, tid_for(k))
+            for k in keys[DEPTH:]:
+                with pytest.raises(Overloaded):
+                    s.submit("insert", k, tid_for(k))
+            gate.set()
+            s.flush()
+        assert reg.snapshot()["counters"]["serve.overloaded"] == 2
+
+
+def test_one_overloaded_shard_does_not_block_its_siblings():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        gate = threading.Event()
+        server.pool.submit(0, lambda: gate.wait(10))
+        for k in keys_on_shard(tree, 0, DEPTH):
+            s.submit("insert", k, tid_for(k))
+        with pytest.raises(Overloaded):
+            s.submit("insert",
+                     keys_on_shard(tree, 0, 1, start=10_000)[0],
+                     tid_for(0))
+        # shard 1 serves synchronously while shard 0 is saturated
+        sibling_keys = keys_on_shard(tree, 1, 3)
+        for k in sibling_keys:
+            s.insert(k, tid_for(k))
+            assert s.get(k) == tid_for(k)
+        gate.set()
+        s.flush()

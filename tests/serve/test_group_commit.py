@@ -1,0 +1,173 @@
+"""Group-commit stage: window occupancy, ack/fail routing, lifecycle.
+
+The deterministic tests drive :class:`GroupCommitStage` with
+``autostart=False`` + :meth:`drain_once`, so exactly one barrier covers
+exactly the commits the test staged — no timing dependence.  The
+threaded test checks the live committer end-to-end through the server.
+"""
+
+import threading
+
+import pytest
+
+from repro import TID
+from repro.obs import scoped_registry
+from repro.serve import GroupCommitStage, Server, ServerClosed
+from repro.serve.request import CommitRequest
+from repro.shard import GroupSyncScheduler, ShardedEngine, ShardWorkerPool
+from repro.storage import CrashOnNthSync
+
+PAGE = 512
+
+
+def tid_for(i):
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+def make(n=4, seed=17):
+    group = ShardedEngine.create(n, page_size=PAGE, seed=seed)
+    tree = group.create_tree("hybrid", "ix", codec="uint32")
+    scheduler = GroupSyncScheduler(group)
+    pool = ShardWorkerPool(tree, scheduler=scheduler)
+    return group, tree, scheduler, pool
+
+
+def dirty_shard(pool, shard, lo, tree):
+    """Insert a handful of keys routed to *shard* via its owner."""
+    keys = []
+    k = lo
+    while len(keys) < 4:
+        if tree.shard_of(k) == shard:
+            keys.append(k)
+        k += 1
+    pool.run_batch([("insert", k, tid_for(k)) for k in keys])
+
+
+def test_one_barrier_acks_every_pending_commit():
+    group, tree, scheduler, pool = make()
+    with pool:
+        stage = GroupCommitStage(group, scheduler, pool,
+                                 autostart=False)
+        dirty_shard(pool, 0, 100, tree)
+        dirty_shard(pool, 1, 100, tree)
+        commits = [CommitRequest(shards=frozenset({0})),
+                   CommitRequest(shards=frozenset({1})),
+                   CommitRequest(shards=frozenset({0, 1}))]
+        for c in commits:
+            stage.submit(c)
+        assert stage.drain_once() == 3
+        windows = {c.future.result(5) for c in commits}
+        assert windows == {scheduler.window}
+        assert scheduler.commit_windows == 1
+        assert scheduler.commits_coalesced == 3
+        assert scheduler.amortization == pytest.approx(3.0)
+
+
+def test_occupancy_is_recorded_in_the_registry():
+    with scoped_registry() as reg:
+        group, tree, scheduler, pool = make()
+        with pool:
+            stage = GroupCommitStage(group, scheduler, pool,
+                                     autostart=False)
+            dirty_shard(pool, 0, 100, tree)
+            for _ in range(4):
+                stage.submit(CommitRequest(shards=frozenset({0})))
+            stage.drain_once()
+        snap = reg.snapshot()
+        occupancy = snap["histograms"]["shard.group.window_occupancy"]
+        assert occupancy["count"] == 1
+        assert occupancy["sum"] == 4
+        assert snap["counters"]["shard.group.commits_coalesced"] == 4
+        assert snap["counters"]["serve.commit.acked"] == 4
+        assert snap["counters"]["serve.commit.windows"] == 1
+
+
+def test_commit_touching_a_crashed_shard_fails_typed():
+    # two commits share the window; the barrier sync kills shard 0, so
+    # the commit covering it fails with the shard named while the
+    # sibling's commit still acks — crash isolation at the ack level
+    group, tree, scheduler, pool = make()
+    with pool:
+        stage = GroupCommitStage(group, scheduler, pool,
+                                 autostart=False)
+        dirty_shard(pool, 0, 100, tree)
+        dirty_shard(pool, 1, 100, tree)
+        group.shard(0).crash_policy = CrashOnNthSync(1)
+        doomed = CommitRequest(shards=frozenset({0}))
+        safe = CommitRequest(shards=frozenset({1}))
+        stage.submit(doomed)
+        stage.submit(safe)
+        stage.drain_once()
+        assert safe.future.result(5) == scheduler.window
+        error = doomed.future.error()
+        assert error is not None and error.shards == [0]
+        assert error.window == scheduler.window
+        assert not error.retryable
+        assert scheduler.crash_windows[0] == scheduler.window
+
+
+def test_commit_to_an_already_dead_shard_fails_without_a_crash():
+    group, tree, scheduler, pool = make()
+    with pool:
+        stage = GroupCommitStage(group, scheduler, pool,
+                                 autostart=False)
+        dirty_shard(pool, 0, 100, tree)
+        group.shard(0).crash_policy = CrashOnNthSync(1)
+        first = CommitRequest(shards=frozenset({0}))
+        stage.submit(first)
+        stage.drain_once()          # the crash happens here
+        assert first.future.error() is not None
+        retry = CommitRequest(shards=frozenset({0}))
+        stage.submit(retry)
+        stage.drain_once()          # shard 0 is dead, not re-crashing
+        error = retry.future.error()
+        assert error is not None and error.shards == [0]
+
+
+def test_stop_flushes_pending_and_rejects_later_submissions():
+    group, tree, scheduler, pool = make()
+    with pool:
+        stage = GroupCommitStage(group, scheduler, pool,
+                                 autostart=False)
+        dirty_shard(pool, 0, 100, tree)
+        pending = CommitRequest(shards=frozenset({0}))
+        stage.submit(pending)
+        stage.stop()                # inline flush: no committer ran
+        assert pending.future.result(5) >= 1
+        with pytest.raises(ServerClosed):
+            stage.submit(CommitRequest(shards=frozenset({0})))
+
+
+def test_threaded_committers_share_windows():
+    group = ShardedEngine.create(4, page_size=PAGE, seed=17)
+    tree = group.create_tree("hybrid", "ix", codec="uint32")
+    server = Server(tree, window_delay=0.01)
+    n_clients = 8
+    start = threading.Barrier(n_clients)
+    errors = []
+
+    def client(cid):
+        try:
+            s = server.session()
+            base = 500 * (cid + 1)
+            s.insert(base, tid_for(cid))
+            s.insert(base + 1, tid_for(cid))
+            start.wait(timeout=10)       # commit storm, all at once
+            assert s.commit() >= 1
+        except Exception as exc:  # lint: disable=R005
+            errors.append(exc)
+
+    with server:
+        threads = [threading.Thread(target=client, args=(cid,))
+                   for cid in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        scheduler = server.scheduler
+        assert scheduler.commits_coalesced == n_clients
+        # the aggregation window must have folded the storm into fewer
+        # barriers than commits (usually just one or two)
+        assert scheduler.commit_windows < n_clients
+        assert scheduler.amortization > 1.0

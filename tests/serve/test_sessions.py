@@ -1,0 +1,215 @@
+"""Session semantics through the serving front door.
+
+Every operation here crosses a thread boundary — client thread to shard
+owner thread — so these tests are the contract that the dispatch
+pipeline preserves single-client semantics: per-key errors land on the
+right futures, FIFO order per shard holds, and coalesced batches are
+indistinguishable from one-at-a-time execution.
+"""
+
+import threading
+
+import pytest
+
+from repro import TID
+from repro.errors import DuplicateKeyError, KeyNotFoundError, ReproError
+from repro.obs import scoped_registry
+from repro.serve import Server
+from repro.shard import ShardedEngine
+
+PAGE = 512
+
+
+def tid_for(i):
+    return TID(1 + (i >> 8), i & 0xFF)
+
+
+def make(n=4, seed=11, **kwargs):
+    group = ShardedEngine.create(n, page_size=PAGE, seed=seed)
+    tree = group.create_tree("hybrid", "ix", codec="uint32")
+    server = Server(tree, **kwargs)
+    return group, tree, server
+
+
+def keys_on_shard(tree, shard, count, start=0):
+    out = []
+    k = start
+    while len(out) < count:
+        if tree.shard_of(k) == shard:
+            out.append(k)
+        k += 1
+    return out
+
+
+def test_basic_ops_round_trip():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        s.insert(7, tid_for(7))
+        assert s.get(7) == tid_for(7)
+        assert s.get(8) is None
+        s.delete(7)
+        assert s.get(7) is None
+
+
+def test_update_is_a_server_side_upsert():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        assert s.update(42, tid_for(1)) is False   # inserted fresh
+        assert s.get(42) == tid_for(1)
+        assert s.update(42, tid_for(2)) is True    # replaced
+        assert s.get(42) == tid_for(2)
+
+
+def test_duplicate_insert_fails_only_its_own_future():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        s.insert(3, tid_for(3))
+        with pytest.raises(DuplicateKeyError):
+            s.insert(3, tid_for(99))
+        # the shard survives the per-request failure
+        s.insert(4, tid_for(4))
+        assert s.get(3) == tid_for(3)
+
+
+def test_delete_missing_key_is_typed():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        with pytest.raises(KeyNotFoundError):
+            s.delete(12345)
+
+
+def test_unknown_op_rejected_synchronously():
+    group, tree, server = make()
+    with server:
+        with pytest.raises(ReproError):
+            server.submit("frobnicate", 1)
+
+
+def test_range_merges_shards_in_key_order():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        keys = [97, 3, 512, 44, 260, 9, 1000]
+        for k in keys:
+            s.insert(k, tid_for(k))
+        rows = s.range()
+        assert [k for k, _ in rows] == sorted(keys)
+        assert dict(rows) == {k: tid_for(k) for k in keys}
+
+
+def test_commit_returns_window_and_resets_dirty():
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        s.insert(1, tid_for(1))
+        assert s.dirty_shards() == {tree.shard_of(1)}
+        window = s.commit()
+        assert window >= 1
+        assert s.dirty_shards() == frozenset()
+        # a commit with nothing dirty is a no-op, not a barrier
+        assert s.commit() == 0
+        # after the barrier the shard's frames are clean
+        assert group.shard(tree.shard_of(1)).dirty_page_count() == 0
+
+
+def test_pipelined_writes_coalesce_into_batched_fast_paths():
+    # park shard 0's owner so concurrent inserts pile into its buffer,
+    # then release: the drain takes them as one chunk and coalesce()
+    # must route the run through insert_many (counted per request)
+    with scoped_registry() as reg:
+        group, tree, server = make()
+        with server:
+            s = server.session()
+            gate = threading.Event()
+            done, _ = server.pool.submit(0, lambda: gate.wait(10))
+            keys = keys_on_shard(tree, 0, 8)
+            requests = [s.submit("insert", k, tid_for(k)) for k in keys]
+            gate.set()
+            for r in requests:
+                assert r.future.result() is None
+            assert all(s.get(k) == tid_for(k) for k in keys)
+        counters = reg.snapshot()["counters"]
+        assert counters.get("serve.coalesced_ops", 0) >= len(keys)
+
+
+def test_coalesced_run_pre_probes_duplicates():
+    # a duplicate buried inside a parked batch must fail alone; the
+    # rest of the run still applies through the batched path
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        keys = keys_on_shard(tree, 0, 6)
+        s.insert(keys[2], tid_for(keys[2]))   # pre-existing key
+        gate = threading.Event()
+        server.pool.submit(0, lambda: gate.wait(10))
+        requests = [s.submit("insert", k, tid_for(k)) for k in keys]
+        gate.set()
+        for i, r in enumerate(requests):
+            if i == 2:
+                with pytest.raises(DuplicateKeyError):
+                    r.future.result()
+            else:
+                assert r.future.result() is None
+        assert all(s.get(k) == tid_for(k) for k in keys)
+
+
+def test_per_shard_fifo_order_is_preserved():
+    # insert-then-delete-then-insert of the same key, pipelined while
+    # the owner is parked: the final state proves FIFO execution
+    group, tree, server = make()
+    with server:
+        s = server.session()
+        k = keys_on_shard(tree, 0, 1)[0]
+        gate = threading.Event()
+        server.pool.submit(0, lambda: gate.wait(10))
+        s.submit("insert", k, tid_for(1))
+        s.submit("delete", k)
+        s.submit("insert", k, tid_for(2))
+        gate.set()
+        s.flush()
+        assert s.get(k) == tid_for(2)
+
+
+def test_per_commit_mode_syncs_each_dirty_shard():
+    group, tree, server = make(commit_mode="per_commit")
+    with server:
+        s = server.session()
+        for k in (1, 2, 3, 4):
+            s.insert(k, tid_for(k))
+        dirty = {tree.shard_of(k) for k in (1, 2, 3, 4)}
+        assert s.commit() == 0    # per-commit mode has no windows
+        for shard in dirty:
+            assert group.shard(shard).dirty_page_count() == 0
+
+
+def test_concurrent_clients_share_one_server():
+    group, tree, server = make()
+    n_clients, per_client = 6, 30
+    errors = []
+
+    def client(cid):
+        try:
+            s = server.session()
+            base = 1000 * (cid + 1)
+            for i in range(per_client):
+                s.insert(base + i, tid_for(i))
+            s.commit()
+            for i in range(per_client):
+                assert s.get(base + i) == tid_for(i)
+        except Exception as exc:  # lint: disable=R005
+            errors.append(exc)
+
+    with server:
+        threads = [threading.Thread(target=client, args=(cid,))
+                   for cid in range(n_clients)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        rows = server.range_scan()
+        assert len(rows) == n_clients * per_client

@@ -132,3 +132,63 @@ def test_group_sync_emits_trace_events():
     detail = events[-1].detail
     assert detail["window"] == scheduler.window
     assert detail["crashed"] == []
+
+
+# ---------------------------------------------------------------------------
+# group-commit bookkeeping and the owner-thread barrier
+# ---------------------------------------------------------------------------
+
+def test_barrier_records_commit_occupancy():
+    group, tree, scheduler = make()
+    tree.insert(5, TID(1, 5))
+    scheduler.sync_group(commits=3)
+    assert scheduler.commits_coalesced == 3
+    assert scheduler.commit_windows == 1
+    assert scheduler.amortization == 3.0
+    # a plain barrier (no commits riding it) leaves the ratio alone
+    tree.insert(6, TID(1, 6))
+    scheduler.sync_group()
+    assert scheduler.commit_windows == 1
+    assert scheduler.amortization == 3.0
+    tree.insert(7, TID(1, 7))
+    scheduler.sync_group(commits=1)
+    assert scheduler.amortization == 2.0
+
+
+def test_parallel_barrier_matches_the_sequential_one():
+    from repro.shard import ShardWorkerPool
+
+    seq = make(seed=21)
+    par = make(seed=21)
+    for group, tree, scheduler in (seq, par):
+        for k in range(150):
+            tree.insert(k, TID(1, k % 100))
+    seq[2].sync_group(commits=2)
+    with ShardWorkerPool(par[1]) as pool:
+        assert par[2].sync_group_parallel(pool, commits=2) == []
+    for (g1, _, s1), (g2, _, s2) in ((seq, par),):
+        assert s1.window == s2.window == 1
+        assert s1.commits_coalesced == s2.commits_coalesced == 2
+        assert g1.dirty_page_counts() == g2.dirty_page_counts()
+        assert [e.stats_syncs for e in g1.shards] == \
+            [e.stats_syncs for e in g2.shards]
+
+
+def test_parallel_barrier_isolates_and_records_crashes():
+    from repro.shard import ShardWorkerPool
+
+    group, tree, scheduler = make()
+    for k in range(200):
+        tree.insert(k, TID(1, k % 100))
+    victim = 1
+    group.shard(victim).crash_policy = CrashOnNthSync(1, keep=1)
+    with ShardWorkerPool(tree) as pool:
+        crashed = scheduler.sync_group_parallel(pool)
+        assert crashed == [victim]
+        assert scheduler.crash_windows == {victim: 1}
+        counts = group.dirty_page_counts()
+        for i in group.live_shards():
+            assert counts[i] == 0, "siblings must finish their syncs"
+        # the next window opens past the crash, skipping the dead shard
+        assert scheduler.sync_group_parallel(pool) == []
+        assert scheduler.window == 2

@@ -118,3 +118,51 @@ def test_batch_to_unrecovered_shard_reports_dead():
             assert not r.ok and "dead" in r.error
         else:
             assert r.ok
+
+
+# ---------------------------------------------------------------------------
+# submit(): the serving layer's owner-thread building block
+# ---------------------------------------------------------------------------
+
+def test_submit_runs_fifo_on_the_owner_thread():
+    import threading
+
+    group, tree = make()
+    order = []
+    names = set()
+
+    def step(i):
+        def run():
+            order.append(i)
+            names.add(threading.current_thread().name)
+        return run
+
+    with ShardWorkerPool(tree) as pool:
+        waits = [pool.submit(0, step(i)) for i in range(20)]
+        for done, errbox in waits:
+            assert done.wait(timeout=10)
+            assert "error" not in errbox
+    assert order == list(range(20)), "submissions must drain FIFO"
+    assert len(names) == 1, "one shard means exactly one owner thread"
+
+
+def test_submit_captures_errors_and_the_worker_survives():
+    group, tree = make()
+    with ShardWorkerPool(tree) as pool:
+        def boom():
+            raise ValueError("deliberate")
+        done, errbox = pool.submit(0, boom)
+        assert done.wait(timeout=10)
+        assert isinstance(errbox["error"], ValueError)
+        # the owner thread survived the escape and keeps serving
+        done2, errbox2 = pool.submit(0, lambda: None)
+        assert done2.wait(timeout=10)
+        assert "error" not in errbox2
+
+
+def test_submit_after_close_raises():
+    group, tree = make()
+    pool = ShardWorkerPool(tree)
+    pool.close()
+    with pytest.raises(ReproError):
+        pool.submit(0, lambda: None)
