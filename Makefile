@@ -2,7 +2,7 @@ PYTHONPATH := src
 export PYTHONPATH
 
 .PHONY: check flow hotpath instantrestart lint races serving shard \
-	test test-sanitized threads
+	test test-sanitized threads walreplay
 
 check:
 	sh scripts/check.sh
@@ -37,6 +37,12 @@ instantrestart:
 	python -m pytest -x -q tests/shard/test_instant_restart.py
 	python -m repro.bench.instantrestart --smoke --json \
 		> BENCH_instant_restart.json
+
+walreplay:
+	python -m pytest -x -q tests/wal \
+		tests/recovery/test_recrash_during_replay.py
+	python -m repro.bench.logvolume --matrix --smoke --json \
+		> BENCH_wal_replay.json
 
 test:
 	python -m pytest -x -q

@@ -116,6 +116,28 @@ print(f\"instant restart at 4 shards: ttfq {doc['ttfq_speedup_at_4']:.1f}x \"
       f\"(victim {camp['victim']}, fsck errors {camp['fsck_errors']})\")
 "
 
+echo "==> WAL replay tests (tests/wal + recrash-during-replay campaign)"
+python -m pytest -x -q tests/wal \
+    tests/recovery/test_recrash_during_replay.py
+
+echo "==> WAL layer under every lint engine (--engine=all)"
+python -m repro.tools.lint src/repro/wal --engine=all
+
+echo "==> WAL replay matrix smoke (python -m repro.bench.logvolume --matrix)"
+python -m repro.bench.logvolume --matrix --smoke --json \
+    > BENCH_wal_replay.json
+python -c "
+import json
+doc = json.load(open('BENCH_wal_replay.json'))
+assert doc['parallel_beats_serial_logical_at_4'], doc['results']
+assert doc['elision_nonzero'], doc['results']
+four = [p for p in doc['results'] if p['n_shards'] == 4][0]
+par = four['modes']['parallel-logical']
+print(f\"4-shard parallel-logical replay {four['logical_speedup']:.2f}x \"
+      f\"over serial-logical ({par['elided']} records elided, \"
+      f\"tail recovered: {par['recovered_tail']})\")
+"
+
 echo "==> serving subsystem tests (tests/serve)"
 python -m pytest -x -q tests/serve
 

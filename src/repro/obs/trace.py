@@ -43,6 +43,10 @@ EVENT_TYPES: frozenset[str] = frozenset({
     # serving front-end: one group-commit barrier (window ordinal, how
     # many client commits it covered, how many it acked)
     "serve_commit",
+    # partitioned WAL replay (repro.wal.parallel): one partition's redo
+    # completing on its owner thread (applied/elided/out-of-order
+    # counts), and the whole group replay finishing
+    "wal_partition", "wal_replay",
 })
 
 DEFAULT_CAPACITY = 4096

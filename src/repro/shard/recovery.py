@@ -23,6 +23,15 @@ the reopen cost, independent of index size) and the sweep is handed to a
 background :class:`~repro.shard.heal.HealQueue` that steps it between
 foreground operations, hottest subtrees first.
 
+A group that logged through ``repro.wal.group`` has a third option:
+pass its :class:`~repro.wal.log.StableLog` as ``wal`` and the
+orchestrator reopens each dead shard cold, then runs the partitioned
+redo of :func:`repro.wal.parallel.replay_group` over exactly the
+reopened shards — serially or on the shard owner threads, with the
+sync-token redo test eliding records a completed sync already covered.
+Together with the log-less sweep that gives the four recovery modes the
+``repro.bench.logvolume`` matrix compares.
+
 A shard that crashes again during its own recovery is isolated: its
 report carries the error, the orchestrator's pool finishes every sibling,
 and the returned group keeps the dead engine so a later pass can retry.
@@ -34,7 +43,7 @@ emits a ``shard_recovery`` trace event.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Callable
 
@@ -58,7 +67,8 @@ class ShardRecoveryReport:
     repair_seconds: dict = field(default_factory=dict)
     keys_seen: int = 0
     fsck_errors: int | None = None    # None when fsck was skipped
-    mode: str = "sweep"               # "sweep" or "admit"
+    mode: str = "sweep"               # "sweep", "admit", or "wal:<mode>"
+    replay_seconds: float = 0.0       # WAL modes: this shard's redo time
 
 
 @dataclass
@@ -74,6 +84,10 @@ class GroupRecoveryReport:
     #: heal priorities and the repair log the heal drives is the one the
     #: serving handles observe.
     heal: object | None = field(default=None, repr=False)
+    #: WAL modes: the :class:`~repro.wal.parallel.GroupRedoStats` of the
+    #: replay pass (partition counts, elisions, redo wall time); None
+    #: for the log-less modes.
+    redo: object | None = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -120,17 +134,52 @@ class RecoveryOrchestrator:
         checks make every page a query touches safe — and hand the
         deferred sweep to a background :class:`~repro.shard.heal.HealQueue`
         (``report.heal``), prioritized by foreground access frequency.
+    wal:
+        A :class:`~repro.wal.log.StableLog` the group logged through
+        (see ``repro.wal.group``).  When given, recovery is log-based:
+        each dead shard is reopened cold and then *replayed* from the
+        log instead of swept — ``wal_mode`` picks the discipline.
+        Incompatible with ``admit_immediately`` (replay must complete
+        before the shard's state answers queries correctly).
+    wal_mode:
+        ``"serial-physical"`` | ``"serial-logical"`` |
+        ``"parallel-logical"`` — which redo discipline
+        :func:`~repro.wal.parallel.replay_group` runs.  Together with
+        the log-less sweep these are the four recovery modes the
+        ``repro.bench.logvolume`` matrix compares.
+    wal_subparts:
+        Key-range sub-partitions per shard for the WAL modes.
     """
+
+    #: wal_mode -> (parallel, physical) for replay_group
+    WAL_MODES = {
+        "serial-physical": (False, True),
+        "serial-logical": (False, False),
+        "parallel-logical": (True, False),
+    }
 
     def __init__(self, *, max_workers: int | None = None,
                  fsck_first: bool = False,
                  on_reopen: Callable[[int, StorageEngine], None]
                  | None = None,
-                 admit_immediately: bool = False):
+                 admit_immediately: bool = False,
+                 wal=None, wal_mode: str = "parallel-logical",
+                 wal_subparts: int = 1):
+        if wal is not None and admit_immediately:
+            raise ValueError(
+                "wal replay and admit_immediately are incompatible: a "
+                "shard must finish redo before it can serve queries")
+        if wal is not None and wal_mode not in self.WAL_MODES:
+            raise ValueError(
+                f"unknown wal_mode {wal_mode!r}; expected one of "
+                f"{sorted(self.WAL_MODES)}")
         self.max_workers = max_workers
         self.fsck_first = fsck_first
         self.on_reopen = on_reopen
         self.admit_immediately = admit_immediately
+        self.wal = wal
+        self.wal_mode = wal_mode
+        self.wal_subparts = wal_subparts
         reg = get_registry()
         self._m_recovered = reg.counter("shard.recovery.recovered")
         self._m_failed = reg.counter("shard.recovery.failed")
@@ -158,9 +207,16 @@ class RecoveryOrchestrator:
         engines: list[StorageEngine] = list(group.shards)
         reports: list[ShardRecoveryReport | None] = [None] * len(group)
         admitted_trees: dict[int, object] = {}
-        mode = "admit" if self.admit_immediately else "sweep"
-        recover_one = self._admit_one if self.admit_immediately \
-            else self._recover_one
+        if self.admit_immediately:
+            mode = "admit"
+        elif self.wal is not None:
+            mode = f"wal:{self.wal_mode}"
+        else:
+            mode = "sweep"
+        recover_one = (self._admit_one if self.admit_immediately
+                       else self._reopen_for_replay
+                       if self.wal is not None
+                       else self._recover_one)
 
         targets = [i for i, e in enumerate(group.shards) if e.dead]
         if targets:
@@ -186,7 +242,7 @@ class RecoveryOrchestrator:
                         get_trace().emit("shard_recovery", shard=i,
                                          ok=False, repairs=0)
                         continue
-                    if self.admit_immediately:
+                    if self.admit_immediately or self.wal is not None:
                         engine, report, tree = result
                         admitted_trees[i] = tree
                     else:
@@ -199,11 +255,16 @@ class RecoveryOrchestrator:
                                                  mode=mode)
 
         out_group = ShardedEngine(engines)
+        redo = None
+        if self.wal is not None and targets:
+            redo = self._replay_targets(out_group, name, targets,
+                                        admitted_trees, reports)
         out = GroupRecoveryReport(
             shards=[r for r in reports if r is not None],
             wall_seconds=perf_counter() - started,
             max_workers=workers,
         )
+        out.redo = redo
         if self.admit_immediately:
             out.heal = self._build_heal(out_group, name, admitted_trees,
                                         admitted_at=started)
@@ -320,6 +381,128 @@ class RecoveryOrchestrator:
                          duration=report.restart_seconds, repairs=0)
         return engine, report, tree
 
+    # -- one shard, log-based recovery ---------------------------------------
+
+    def _reopen_for_replay(self, index: int, dead_engine: StorageEngine,
+                           name: str) -> tuple[StorageEngine,
+                                               ShardRecoveryReport,
+                                               object | None]:
+        """Reopen and structurally repair a shard ahead of WAL replay.
+
+        Logical redo assumes a structurally sound tree: a torn sync can
+        leave keys reachable only through a first-use repair (a zeroed
+        child slot, a stale dual path), and replay only descends the
+        paths its own records name — it would sail past the damage and
+        then *elide* the covered records that should have resurfaced
+        those keys.  So replay mode pays the same repair sweep the
+        no-WAL path drives, then owes only the committed tail.  The
+        sweep's fixes stay in the buffer pool — the replay completion
+        sync is the single durability point, so a re-crash there simply
+        repeats repair + redo (both idempotent).
+
+        Success metrics and the ``shard_recovery`` trace are deferred to
+        :meth:`_replay_targets`, which knows whether redo survived.
+        """
+        report = ShardRecoveryReport(shard=index,
+                                     mode=f"wal:{self.wal_mode}")
+        started = perf_counter()
+        engine = dead_engine
+        tree = None
+        try:
+            engine = StorageEngine.reopen(dead_engine)
+            if self.on_reopen is not None:
+                self.on_reopen(index, engine)
+            tree = _open_member_tree(engine, name)
+            report.restart_seconds = perf_counter() - started
+            if self.fsck_first:
+                from ..tools.fsck import fsck_tree
+                report.fsck_errors = fsck_tree(tree).errors
+            drive_start = perf_counter()
+            report.keys_seen = _drive_repairs(tree)
+            report.drive_seconds = perf_counter() - drive_start
+            report.repairs = {
+                kind.value if hasattr(kind, "value") else str(kind): count
+                for kind, count in _repair_counts(tree).items()
+            }
+            report.ok = True
+            self._h_restart.observe(report.restart_seconds)
+        except CrashError as exc:
+            report.error = f"crashed during reopen for replay: {exc}"
+            if not engine.dead:
+                engine = dead_engine
+            tree = None
+            self._m_failed.inc()
+            get_trace().emit("shard_recovery", shard=index, ok=False,
+                             repairs=0)
+        except ReproError as exc:
+            # same contract as the sweep path: a non-crash failure keeps
+            # the dead engine so the shard stays gated
+            report.error = f"{type(exc).__name__}: {exc}"
+            engine = dead_engine
+            tree = None
+            self._m_failed.inc()
+            get_trace().emit("shard_recovery", shard=index, ok=False,
+                             repairs=0)
+        return engine, report, tree
+
+    def _replay_targets(self, group: ShardedEngine, name: str,
+                        targets: list[int],
+                        reopened_trees: dict[int, object],
+                        reports: list[ShardRecoveryReport | None]):
+        """Run the partitioned redo pass over the reopened shards and
+        fold the per-partition outcomes back into the shard reports.
+
+        Only the *targets* replay — shards that never died are current
+        already and never see a redo record.  A shard that crashes again
+        mid-replay keeps its (now dead) engine, so it stays gated for a
+        retry pass exactly like a sweep-mode failure."""
+        from ..wal.parallel import replay_group
+
+        parallel, physical = self.WAL_MODES[self.wal_mode]
+        trees: list[object | None] = []
+        codec = None
+        for i, engine in enumerate(group.shards):
+            tree = reopened_trees.get(i)
+            if tree is None and not engine.dead:
+                tree = _open_member_tree(engine, name)
+            trees.append(tree)
+            if tree is not None and codec is None:
+                codec = tree.codec
+        if codec is None:
+            return None     # every shard is dead: nothing to replay into
+        sharded = ShardedTree(group, name, trees, codec)
+        replayable = [i for i in targets
+                      if trees[i] is not None and not group.shard(i).dead]
+        redo = replay_group(self.wal, sharded, parallel=parallel,
+                            physical=physical, subparts=self.wal_subparts,
+                            shards=replayable)
+        for i in replayable:
+            report = reports[i]
+            if report is None:
+                continue
+            parts = redo.for_shard(i)
+            replay_seconds = sum(p.seconds for p in parts)
+            errors = [p.error for p in parts if p.error is not None]
+            if i in redo.crashed_shards or errors:
+                # fold the redo outcome in via a replacement report (a
+                # fresh instance, like the failed-report fallback in
+                # ``recover``) rather than mutating the one the reopen
+                # worker published
+                report = replace(
+                    report, ok=False, replay_seconds=replay_seconds,
+                    error=(errors[0] if errors
+                           else "crashed during replay sync"))
+                self._m_failed.inc()
+            else:
+                report = replace(report, replay_seconds=replay_seconds)
+                self._m_recovered.inc()
+            reports[i] = report
+            get_trace().emit("shard_recovery", shard=i, ok=report.ok,
+                             duration=report.restart_seconds
+                             + replay_seconds,
+                             repairs=0)
+        return redo
+
     def _build_heal(self, group: ShardedEngine, name: str,
                     admitted_trees: dict[int, object], *,
                     admitted_at: float):
@@ -372,12 +555,18 @@ def _repair_counts(tree) -> dict:
 def recover_group(group: ShardedEngine, name: str, *,
                   parallel: bool = True,
                   fsck_first: bool = False,
-                  admit_immediately: bool = False) \
+                  admit_immediately: bool = False,
+                  wal=None, wal_mode: str = "parallel-logical",
+                  wal_subparts: int = 1) \
         -> tuple[ShardedEngine, GroupRecoveryReport]:
     """Convenience wrapper: parallel (or serial-baseline) recovery of a
     crashed group in one call.  ``admit_immediately=True`` returns the
-    group serving cold with ``report.heal`` still draining repairs."""
+    group serving cold with ``report.heal`` still draining repairs.
+    Passing ``wal`` (the group's :class:`~repro.wal.log.StableLog`)
+    switches to log-based recovery: reopen cold, then redo under
+    ``wal_mode`` (``report.redo`` carries the partition stats)."""
     orchestrator = RecoveryOrchestrator(
         max_workers=None if parallel else 1, fsck_first=fsck_first,
-        admit_immediately=admit_immediately)
+        admit_immediately=admit_immediately,
+        wal=wal, wal_mode=wal_mode, wal_subparts=wal_subparts)
     return orchestrator.recover(group, name)

@@ -208,6 +208,50 @@ def run_serving_demo_workload(kind: str, *, n_clients: int = 4,
         raise SystemExit(f"{kind}: serving demo failed: {failures[:3]}")
 
 
+def run_wal_demo_workload(*, n_shards: int = 4, keys: int = 240,
+                          page_size: int = 512, seed: int = 13) -> None:
+    """WAL-replay demo: a group logs through one stable log, commits a
+    load phase (durably SYNC_MARKed), then a committed tail whose index
+    syncs all crash keep-nothing; parallel partitioned replay recovers
+    it.  Fills the ``wal.replay.*`` metrics and the ``wal_partition`` /
+    ``wal_replay`` trace events that ``--wal`` exists to show."""
+    from ..shard import RecoveryOrchestrator, ShardedEngine
+    from ..storage import CrashOnNthSync
+    from ..wal import GroupLogicalLoggingTree
+
+    group = ShardedEngine.create(n_shards, page_size=page_size, seed=seed)
+    wal = GroupLogicalLoggingTree.create(group, "ix", kind="shadow")
+    wal.current_xid = 1
+    for k in range(keys):
+        wal.insert(2 * k, TID(1, k % 100))
+    crashed = wal.commit()
+    if crashed:  # pragma: no cover - guard
+        raise SystemExit(f"wal demo load commit crashed shards {crashed}")
+    wal.current_xid = 2
+    for k in range(keys // 2):
+        wal.insert(2 * k + 1, TID(7, k % 100))
+    for index in range(n_shards):
+        group.shard(index).crash_policy = CrashOnNthSync(1, keep=0)
+    wal.commit()
+
+    orchestrator = RecoveryOrchestrator(wal=wal.log,
+                                        wal_mode="parallel-logical",
+                                        wal_subparts=2)
+    group, recovery = orchestrator.recover(group, "ix")
+    if not recovery.ok:  # pragma: no cover - guard
+        raise SystemExit(
+            f"wal demo recovery failed: {recovery.failed_shards()}")
+    tree = group.open_tree("ix")
+    for k in range(keys):
+        if tree.lookup(2 * k) is None:  # pragma: no cover - guard
+            raise SystemExit(f"wal demo: committed key {2 * k} lost")
+    for k in range(keys // 2):
+        if tree.lookup(2 * k + 1) is None:  # pragma: no cover - guard
+            raise SystemExit(f"wal demo: replayed tail key "
+                             f"{2 * k + 1} lost")
+    group.shutdown()
+
+
 # ----------------------------------------------------------------------
 # rendering
 # ----------------------------------------------------------------------
@@ -270,6 +314,40 @@ def _serving_summary(snapshot: dict) -> dict | None:
     }
 
 
+def _wal_summary(snapshot: dict, trace=None) -> dict | None:
+    """Aggregate the ``wal.replay.*`` series into per-shard-partition
+    counts (replayed / elided / out-of-order) plus replay wall time."""
+    counters = snapshot.get("counters", {})
+    per_shard: dict[str, dict[str, int]] = {}
+    totals: dict[str, int] = {}
+    for key, val in counters.items():
+        if not key.startswith("wal.replay.") or "[" not in key:
+            continue
+        base = key.split("[", 1)[0].rsplit(".", 1)[1]
+        shard = key.split("shard=", 1)[1].rstrip("]")
+        per_shard.setdefault(shard, {})[base] = \
+            per_shard.get(shard, {}).get(base, 0) + val
+        totals[base] = totals.get(base, 0) + val
+    if not per_shard:
+        return None
+    partitions = snapshot.get("histograms", {}).get(
+        "wal.replay.partition_seconds")
+    replays = snapshot.get("histograms", {}).get("wal.replay.seconds")
+    out = {
+        "per_shard": {shard: per_shard[shard]
+                      for shard in sorted(per_shard, key=int)},
+        "totals": totals,
+        "partitions_replayed": partitions["count"] if partitions else 0,
+        "replay_wall_seconds": replays["sum"] if replays else 0.0,
+        "slowest_partition_seconds":
+            partitions["max"] if partitions else None,
+    }
+    if trace is not None:
+        completions = trace.counts().get("wal_partition", 0)
+        out["partition_completion_events"] = completions
+    return out
+
+
 def collect(recent: int = _RECENT_EVENTS) -> dict:
     """One JSON-ready document: metrics snapshot + trace summary."""
     trace = get_trace()
@@ -278,6 +356,7 @@ def collect(recent: int = _RECENT_EVENTS) -> dict:
         "metrics": metrics,
         "fastpath": _fastpath_summary(metrics),
         "serving": _serving_summary(metrics),
+        "wal": _wal_summary(metrics, trace),
         "trace": {
             "counts": trace.counts(),
             "recent": [e.to_dict() for e in trace.events()[-recent:]],
@@ -321,6 +400,26 @@ def render_report(doc: dict) -> str:
         if serving.get("max_window_occupancy") is not None:
             lines.append(f"  {'max window occupancy':<22} "
                          f"{serving['max_window_occupancy']}")
+    wal = doc.get("wal")
+    if wal:
+        lines += ["", "wal replay summary:"]
+        lines.append(f"  {'shard':<8} {'applied':>8} {'elided':>8} "
+                     f"{'out_of_order':>13}")
+        for shard, counts in wal["per_shard"].items():
+            lines.append(f"  {shard:<8} {counts.get('applied', 0):>8} "
+                         f"{counts.get('elided', 0):>8} "
+                         f"{counts.get('out_of_order', 0):>13}")
+        totals = wal["totals"]
+        lines.append(f"  {'total':<8} {totals.get('applied', 0):>8} "
+                     f"{totals.get('elided', 0):>8} "
+                     f"{totals.get('out_of_order', 0):>13}")
+        lines.append(f"  {'partitions replayed':<22} "
+                     f"{wal['partitions_replayed']}")
+        lines.append(f"  {'replay wall time':<22} "
+                     f"{wal['replay_wall_seconds'] * 1e3:.2f}ms")
+        if wal.get("slowest_partition_seconds") is not None:
+            lines.append(f"  {'slowest partition':<22} "
+                         f"{wal['slowest_partition_seconds'] * 1e3:.2f}ms")
     lines += ["", "trace event counts:"]
     counts = doc["trace"]["counts"]
     if counts:
@@ -392,6 +491,13 @@ def main(argv=None) -> int:
                              "workload (group-commit mode), populating "
                              "the serve.* metrics and the group commit "
                              "window-occupancy summary")
+    parser.add_argument("--wal", type=int, default=0, metavar="N",
+                        nargs="?", const=4,
+                        help="also run an N-shard WAL-replay workload "
+                             "(default N: 4): group logging, a crashed "
+                             "commit, parallel partitioned redo — "
+                             "populating the wal.replay.* metrics and "
+                             "the per-partition replay summary")
     parser.add_argument("--page-size", type=int, default=512)
     parser.add_argument("--no-workload", action="store_true",
                         help="skip the demo workload; dump whatever the "
@@ -433,6 +539,16 @@ def main(argv=None) -> int:
                 after = get_registry().snapshot()
                 print(f"--- {kinds[0]} serving x{args.serving} "
                       "clients ---")
+                print(_render_diff(diff_snapshots(before, after)))
+                print()
+        if args.wal and args.wal > 1:
+            before = get_registry().snapshot()
+            run_wal_demo_workload(n_shards=args.wal,
+                                  keys=max(args.keys * 2, 64),
+                                  page_size=args.page_size)
+            if args.watch and not args.json:
+                after = get_registry().snapshot()
+                print(f"--- wal replay x{args.wal} shards ---")
                 print(_render_diff(diff_snapshots(before, after)))
                 print()
 

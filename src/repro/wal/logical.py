@@ -55,13 +55,15 @@ class LogicalLoggingTree:
     def insert(self, value, tid: TID) -> None:
         key = self.tree.codec.encode(value)
         self.log.append(self.current_xid, RecordKind.OP_INSERT,
-                        encode_op(key, tid))
+                        encode_op(key, tid),
+                        token=self.tree.engine.sync_state.token())
         self.tree.insert(value, tid)
 
     def delete(self, value) -> None:
         key = self.tree.codec.encode(value)
         self.log.append(self.current_xid, RecordKind.OP_DELETE,
-                        encode_op(key))
+                        encode_op(key),
+                        token=self.tree.engine.sync_state.token())
         self.tree.delete(value)
 
     def lookup(self, value):

@@ -23,18 +23,24 @@ class RedoStats:
     applied: int = 0
     skipped_duplicates: int = 0
     skipped_missing: int = 0
+    elided: int = 0
     conflicts: list[bytes] = field(default_factory=list)
 
 
 def logical_redo(log: StableLog, tree: BLinkTree, *,
                  from_lsn: int = 1,
-                 committed_only: bool = True) -> RedoStats:
+                 committed_only: bool = True,
+                 mark: LogRecord | None = None) -> RedoStats:
     """Re-execute logical records against *tree*.
 
     With ``committed_only`` (default) only operations of transactions
     whose COMMIT record made it into the log are replayed — the standard
-    redo-winners pass.
+    redo-winners pass.  With *mark* (a durable SYNC_MARK record), the
+    Lomet-style redo test of :func:`repro.wal.parallel.covered_by_mark`
+    elides records a completed sync already made durable.
     """
+    from .parallel import covered_by_mark
+
     stats = RedoStats()
     committed = {
         record.xid for record in log.records(from_lsn)
@@ -42,6 +48,10 @@ def logical_redo(log: StableLog, tree: BLinkTree, *,
     }
     for record in log.records(from_lsn):
         if committed_only and record.xid not in committed:
+            continue
+        if mark is not None and covered_by_mark(record, mark):
+            if record.kind in (RecordKind.OP_INSERT, RecordKind.OP_DELETE):
+                stats.elided += 1
             continue
         if record.kind == RecordKind.OP_INSERT:
             key, tid = decode_op(record.payload, with_tid=True)

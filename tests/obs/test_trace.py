@@ -62,4 +62,5 @@ def test_event_types_cover_the_documented_schema():
     assert {"sync", "crash", "split", "repair", "evict", "latch_wait",
             "fsck_finding", "race_finding", "shard_crash", "group_sync",
             "shard_recovery", "heal_progress",
-            "serve_commit"} == set(EVENT_TYPES)
+            "serve_commit", "wal_partition",
+            "wal_replay"} == set(EVENT_TYPES)

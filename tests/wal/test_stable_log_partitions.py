@@ -1,0 +1,100 @@
+"""Partition-aware StableLog iteration (the append-time indexes).
+
+Partitioned replay must never pay a full log re-scan per worker, so the
+log indexes its records *as they are appended*: op records into
+per-shard LSN-ordered lists, the last SYNC_MARK per shard, and the
+committed-xid set.  These tests pin the index semantics — routing,
+ordering, bisected ``from_lsn``, rebuild on truncation, and the frame
+round-trip of the new shard/token fields.
+"""
+
+from repro.storage.sync import tokens_match
+from repro.wal import LogRecord, RecordKind, StableLog
+
+
+def _fill(log: StableLog) -> None:
+    log.append(1, RecordKind.OP_INSERT, b"a0", shard=0, token=10)
+    log.append(1, RecordKind.OP_INSERT, b"b0", shard=1, token=20)
+    log.append(1, RecordKind.OP_DELETE, b"a1", shard=0, token=10)
+    log.append(1, RecordKind.COMMIT, b"")
+    log.append(0, RecordKind.SYNC_MARK, b"", shard=0, token=11)
+    log.append(2, RecordKind.KEY_ADD, b"b1", shard=1, token=20)
+    log.append(2, RecordKind.OP_INSERT, b"a2", shard=0, token=11)
+
+
+def test_records_for_returns_only_that_shards_ops_in_lsn_order():
+    log = StableLog()
+    _fill(log)
+    shard0 = list(log.records_for(0))
+    assert [r.payload for r in shard0] == [b"a0", b"a1", b"a2"]
+    assert [r.lsn for r in shard0] == sorted(r.lsn for r in shard0)
+    assert [r.payload for r in log.records_for(1)] == [b"b0", b"b1"]
+    assert list(log.records_for(7)) == []
+
+
+def test_control_records_never_land_in_a_partition():
+    log = StableLog()
+    _fill(log)
+    kinds = {r.kind for shard in log.shards()
+             for r in log.records_for(shard)}
+    assert RecordKind.COMMIT not in kinds
+    assert RecordKind.SYNC_MARK not in kinds
+
+
+def test_from_lsn_bisects_within_the_partition():
+    log = StableLog()
+    _fill(log)
+    mark = log.last_sync_mark(0)
+    tail = list(log.records_for(0, from_lsn=mark.lsn))
+    assert [r.payload for r in tail] == [b"a2"]
+    assert list(log.records_for(0, from_lsn=log.last_lsn() + 1)) == []
+
+
+def test_shards_and_partition_sizes():
+    log = StableLog()
+    _fill(log)
+    assert log.shards() == [0, 1]
+    assert log.partition_sizes() == {0: 3, 1: 2}
+
+
+def test_last_sync_mark_tracks_the_latest_mark_per_shard():
+    log = StableLog()
+    _fill(log)
+    assert tokens_match(log.last_sync_mark(0).token, 11)
+    assert log.last_sync_mark(1) is None
+    log.append(0, RecordKind.SYNC_MARK, b"", shard=0, token=12)
+    assert tokens_match(log.last_sync_mark(0).token, 12)
+
+
+def test_committed_xids_is_the_commit_record_set():
+    log = StableLog()
+    _fill(log)
+    assert log.committed_xids() == {1}
+    log.append(2, RecordKind.COMMIT, b"")
+    assert log.committed_xids() == {1, 2}
+
+
+def test_truncate_before_rebuilds_every_index():
+    log = StableLog()
+    _fill(log)
+    mark_lsn = log.last_sync_mark(0).lsn
+    log.truncate_before(mark_lsn + 1)
+    assert [r.payload for r in log.records_for(0)] == [b"a2"]
+    assert [r.payload for r in log.records_for(1)] == [b"b1"]
+    assert log.last_sync_mark(0) is None      # the mark was truncated
+    assert log.committed_xids() == set()
+
+
+def test_frame_roundtrips_shard_and_token():
+    record = LogRecord(9, 4, RecordKind.OP_INSERT, b"payload",
+                       shard=3, token=0xDEAD)
+    back = LogRecord.deserialize(record.serialize())
+    assert back == record
+    assert back.shard == 3 and tokens_match(back.token, 0xDEAD)
+
+
+def test_legacy_append_defaults_to_shard_zero_token_zero():
+    log = StableLog()
+    log.append(1, RecordKind.OP_INSERT, b"xyz")
+    (record,) = log.records_for(0)
+    assert record.shard == 0 and tokens_match(record.token, 0)
